@@ -1,0 +1,295 @@
+// Benchmark harness: one testing.B benchmark per table and figure in the
+// paper's evaluation. Each benchmark regenerates the artifact end to end
+// (sweep + layout selection + Pareto extraction), so -bench times how long
+// the reproduction itself takes and -benchmem tracks its allocations.
+//
+//	go test -bench=. -benchmem
+//
+// The correctness of each artifact's *content* is asserted in
+// internal/experiments' tests; these benchmarks are the regeneration entry
+// points the EXPERIMENTS.md index refers to.
+package esti
+
+import (
+	"testing"
+
+	"esti/internal/engine"
+	"esti/internal/experiments"
+	"esti/internal/ftdata"
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+	"esti/internal/reference"
+)
+
+func knobs() perf.Knobs { return perf.DefaultKnobs() }
+
+// BenchmarkFig1Decode regenerates Figure 1 (left): the decode cost-latency
+// Pareto frontier over the PaLM family.
+func BenchmarkFig1Decode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := experiments.Fig1Decode(knobs())
+		if len(curves) != 6 {
+			b.Fatal("bad curve count")
+		}
+	}
+}
+
+// BenchmarkFig1Prefill regenerates Figure 1 (right).
+func BenchmarkFig1Prefill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := experiments.Fig1Prefill(knobs())
+		if len(curves) != 6 {
+			b.Fatal("bad curve count")
+		}
+	}
+}
+
+// BenchmarkFig3CommVolume regenerates Figure 3: feedforward communication
+// volume vs batch for all layouts.
+func BenchmarkFig3CommVolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig6WeightStationary regenerates Figure 6: 1D vs 2D
+// weight-stationary decode scaling.
+func BenchmarkFig6WeightStationary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(knobs())
+		if len(rows) != 3 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkFig7PrefillMFU regenerates Figure 7: weight-stationary vs
+// weight-gathered prefill MFU.
+func BenchmarkFig7PrefillMFU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7(knobs())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig8Attention regenerates Figure 8: attention-layout context
+// scaling on the 8-layer variant.
+func BenchmarkFig8Attention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig8(knobs())
+		if len(rows) != 4 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkFig9FT regenerates Figure 9: the FasterTransformer MFU-latency
+// comparison.
+func BenchmarkFig9FT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig9(knobs())
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFigB1MinPrefill regenerates Figure B.1: minimum prefill latency.
+func BenchmarkFigB1MinPrefill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := experiments.FigB1(knobs())
+		if len(curves) != 6 {
+			b.Fatal("bad curve count")
+		}
+	}
+}
+
+// BenchmarkFigC1MFU regenerates Figure C.1 (both panels).
+func BenchmarkFigC1MFU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.FigC1Decode(knobs())) != 6 ||
+			len(experiments.FigC1Prefill(knobs())) != 6 {
+			b.Fatal("bad curve count")
+		}
+	}
+}
+
+// BenchmarkTable1MaxContext regenerates Table 1: maximum context lengths.
+func BenchmarkTable1MaxContext(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 3 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkTable2Configs regenerates Table 2 (PaLM 540B configurations).
+func BenchmarkTable2Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(knobs())
+		if len(rows) != 4 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkTable3Configs regenerates Table 3 (PaLM 62B configurations).
+func BenchmarkTable3Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(knobs())
+		if len(rows) != 4 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkTableD2 regenerates Table D.2 (20 in / 8 out).
+func BenchmarkTableD2(b *testing.B) {
+	benchFT(b, ftdata.Bench20In8Out())
+}
+
+// BenchmarkTableD3 regenerates Table D.3 (60 in / 20 out).
+func BenchmarkTableD3(b *testing.B) {
+	benchFT(b, ftdata.Bench60In20Out())
+}
+
+// BenchmarkTableD4 regenerates Table D.4 (128 in / 8 out).
+func BenchmarkTableD4(b *testing.B) {
+	benchFT(b, ftdata.Bench128In8Out())
+}
+
+func benchFT(b *testing.B, bench ftdata.Benchmark) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.FTBenchmark(bench, knobs())
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationParallelBlock regenerates the Section 4.3 serial-vs-
+// parallel comparison.
+func BenchmarkAblationParallelBlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.AblationParallel(knobs())) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// BenchmarkAblationInt8 regenerates the Section 4.4 int8-vs-bf16 comparison.
+func BenchmarkAblationInt8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.AblationInt8(knobs())) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// BenchmarkAblationHeadPad regenerates the head-padding MFU comparison.
+func BenchmarkAblationHeadPad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.AblationHeadPad(knobs())) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// BenchmarkAblationGPU regenerates the Section 7 GPU-generalization check
+// (model on A100 constants vs published FasterTransformer).
+func BenchmarkAblationGPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.AblationGPU(knobs())) == 0 {
+			b.Fatal("no GPU rows")
+		}
+	}
+}
+
+// BenchmarkValidate runs the functional-vs-analytic validation suite: five
+// sharded-engine measurements checked against closed-form predictions.
+func BenchmarkValidate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Validate() {
+			if !r.Pass {
+				b.Fatalf("validation failed: %s", r.Check)
+			}
+		}
+	}
+}
+
+// BenchmarkPerfModelDecode measures a single analytical decode evaluation —
+// the unit the sweeps above are built from.
+func BenchmarkPerfModelDecode(b *testing.B) {
+	r := perf.Request{
+		Model: model.PaLM540BPadded(), System: hardware.TPUv4Slice(4, 4, 4),
+		Weights: model.Int8, FFN: partition.FFN2DWeightStationary,
+		Attn: partition.AttnShardBatch, Batch: 64, Context: 2048, Gen: 64,
+	}
+	k := knobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := perf.Decode(r, k); !res.Feasible {
+			b.Fatal(res.Reason)
+		}
+	}
+}
+
+// BenchmarkEnginePrefill measures the functional sharded engine prefilling
+// a small model across 8 simulated chips (2D WS + batch-sharded attention).
+func BenchmarkEnginePrefill(b *testing.B) {
+	cfg := model.Config{
+		Name: "bench", Layers: 2, DModel: 64, DFF: 128,
+		Heads: 8, HeadDim: 8, KVHeads: 1, Attn: model.Multiquery,
+		FFNKind: model.SwiGLU, ParallelBlock: true, Vocab: 64,
+	}
+	w := reference.NewWeights(cfg, 1)
+	tokens := make([]int, 8*4)
+	for i := range tokens {
+		tokens[i] = i % 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := engine.New(w, hardware.Torus{X: 2, Y: 2, Z: 2}, engine.Options{
+			FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		}, 8, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Prefill(tokens, 4)
+	}
+}
+
+// BenchmarkEngineDecodeStep measures one sharded decode step.
+func BenchmarkEngineDecodeStep(b *testing.B) {
+	cfg := model.Config{
+		Name: "bench", Layers: 2, DModel: 64, DFF: 128,
+		Heads: 8, HeadDim: 8, KVHeads: 1, Attn: model.Multiquery,
+		FFNKind: model.SwiGLU, ParallelBlock: true, Vocab: 64,
+	}
+	w := reference.NewWeights(cfg, 1)
+	eng, err := engine.New(w, hardware.Torus{X: 2, Y: 2, Z: 2}, engine.Options{
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+	}, 8, b.N+8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := make([]int, 8*4)
+	for i := range tokens {
+		tokens[i] = i % 64
+	}
+	eng.Prefill(tokens, 4)
+	last := make([]int, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Decode(last)
+	}
+}

@@ -1,0 +1,45 @@
+// Command estibench regenerates the paper's tables and figures (Pope et
+// al., "Efficiently Scaling Transformer Inference", MLSYS 2023) from the
+// analytical model, printing each artifact as a plain-text table.
+//
+// Usage:
+//
+//	estibench [-exp <id>]
+//
+// where <id> is one of the experiment ids in the registry (fig1-decode,
+// fig3, table1, tableD2, ablation-gpu, validate, ...) or "all" (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"esti/internal/experiments"
+	"esti/internal/perf"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to regenerate (or 'all')")
+	flag.Parse()
+
+	k := perf.DefaultKnobs()
+	gens := experiments.Registry(k)
+
+	if *exp == "all" {
+		for _, id := range experiments.RegistryIDs(k) {
+			fmt.Println(gens[id]())
+			fmt.Println()
+		}
+		return
+	}
+	gen, ok := gens[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known:\n", *exp)
+		for _, id := range experiments.RegistryIDs(k) {
+			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		}
+		os.Exit(2)
+	}
+	fmt.Println(gen())
+}

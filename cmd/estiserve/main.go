@@ -1,0 +1,120 @@
+// Command estiserve analyzes a disaggregated two-tier serving deployment
+// (prefill tier → decode tier, the pattern the paper sketches under Table 2)
+// and optionally replays a synthetic request stream through the
+// discrete-event simulator.
+//
+// Example:
+//
+//	estiserve -model palm540b -weights int8 \
+//	    -prefill-chips 64 -prefill-batch 1 \
+//	    -decode-chips 64 -decode-batch 64 \
+//	    -context 2048 -gen 64 -load 0.8 -requests 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+	"esti/internal/serve"
+)
+
+func main() {
+	modelName := flag.String("model", "palm540b", "model: palm8b, palm62b, palm540b, mtnlg530b")
+	weights := flag.String("weights", "int8", "weight format: bf16 or int8")
+	preChips := flag.Int("prefill-chips", 64, "prefill tier chip count")
+	preBatch := flag.Int("prefill-batch", 1, "prefill tier batch")
+	decChips := flag.Int("decode-chips", 64, "decode tier chip count")
+	decBatch := flag.Int("decode-batch", 64, "decode tier batch")
+	context := flag.Int("context", 2048, "input tokens per request")
+	gen := flag.Int("gen", 64, "output tokens per request")
+	load := flag.Float64("load", 0.8, "offered load as a fraction of pipeline capacity")
+	requests := flag.Int("requests", 200, "requests to simulate (0 = analysis only)")
+	flag.Parse()
+
+	cfg, ok := modelByName(*modelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+	dt := model.BF16
+	if strings.EqualFold(*weights, "int8") {
+		dt = model.Int8
+	}
+
+	sc := serve.Config{
+		Model:   cfg,
+		Weights: dt,
+		Prefill: serve.Tier{
+			System: hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(*preChips)),
+			Batch:  *preBatch,
+			FFN:    partition.FFN2DWeightStationary, Attn: partition.AttnShardHeads,
+		},
+		Decode: serve.Tier{
+			System: hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(*decChips)),
+			Batch:  *decBatch,
+			FFN:    partition.FFN2DWeightStationary, Attn: decodeAttn(cfg),
+		},
+		Context: *context,
+		Gen:     *gen,
+		Knobs:   perf.DefaultKnobs(),
+	}
+	// Large prefill batches prefer weight-gathered layouts.
+	if *preBatch**context > 100000 {
+		sc.Prefill.FFN = partition.FFNWeightGatheredXYZ
+		sc.Prefill.Attn = decodeAttn(cfg)
+	}
+
+	m, err := serve.Analyze(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s, %s weights — %d-chip prefill (batch %d) → %d-chip decode (batch %d)\n",
+		cfg.Name, dt, *preChips, *preBatch, *decChips, *decBatch)
+	fmt.Printf("  prefill: %.2fs per batch (%.2f req/s)\n", m.PrefillService, m.PrefillRate)
+	fmt.Printf("  decode:  %.2fs per batch (%.2f req/s)\n", m.DecodeService, m.DecodeRate)
+	fmt.Printf("  pipeline: %.2f req/s, %s-bound; min latency %.2fs; %.3f chip-s/generated token\n",
+		m.Throughput, m.Bottleneck, m.MinLatency, m.CostPerToken)
+
+	if *requests > 0 {
+		inter := 1 / (m.Throughput * *load)
+		res, err := serve.Simulate(sc, *requests, inter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nsimulated %d requests at %.0f%% load (interarrival %.2fs):\n",
+			res.Completed, *load*100, inter)
+		fmt.Printf("  latency p50/p95/p99: %.2fs / %.2fs / %.2fs (mean %.2fs)\n",
+			res.P50, res.P95, res.P99, res.MeanLatency)
+		fmt.Printf("  achieved throughput: %.2f req/s; tier busy: prefill %.0f%%, decode %.0f%%\n",
+			res.Throughput, res.PrefillBusyFrac*100, res.DecodeBusyFrac*100)
+	}
+}
+
+func decodeAttn(cfg model.Config) partition.AttnLayout {
+	if cfg.Attn == model.Multiquery {
+		return partition.AttnShardBatch
+	}
+	return partition.AttnShardHeads
+}
+
+func modelByName(name string) (model.Config, bool) {
+	switch strings.ToLower(name) {
+	case "palm8b":
+		return model.PaLM8B(), true
+	case "palm62b":
+		return model.PaLM62B(), true
+	case "palm540b":
+		return model.PaLM540BPadded(), true
+	case "mtnlg530b":
+		return model.MTNLG530B(), true
+	}
+	return model.Config{}, false
+}

@@ -1,0 +1,107 @@
+// Package esti is a Go reproduction of "Efficiently Scaling Transformer
+// Inference" (Pope et al., MLSYS 2023): the paper's analytical partitioning
+// framework for serving very large decoder-only Transformers, a planner that
+// selects partitioning layouts per phase, and a functional sharded-inference
+// engine that validates the layouts on a simulated chip mesh.
+//
+// This root package is a facade over the implementation packages:
+//
+//   - internal/hardware: chip and 3D-torus system model (TPU v4 preset)
+//   - internal/model:    Transformer architectures (PaLM family, MT-NLG)
+//   - internal/partition: the sharding layouts of Section 3
+//   - internal/commcost: closed-form collective costs (Appendix A)
+//   - internal/perf:     the calibrated latency/MFU/cost model
+//   - internal/planner:  layout selection (Section 4.1)
+//   - internal/engine:   functional sharded execution on a simulated mesh
+//   - internal/experiments: regeneration of every table and figure
+//
+// Quick start:
+//
+//	cfg := esti.PaLM540B()
+//	sys := esti.TPUv4Slice(4, 4, 4)
+//	res := esti.Decode(esti.Request{
+//		Model: cfg, System: sys, Weights: esti.Int8,
+//		FFN: esti.FFN2DWeightStationary, Attn: esti.AttnShardBatch,
+//		Batch: 64, Context: 2048, Gen: 64,
+//	}, esti.DefaultKnobs())
+//	fmt.Printf("%.1f ms/token at %.0f%% MFU\n", res.StepTime*1000, res.MFU*100)
+//
+// See examples/ for runnable scenarios and cmd/estibench for the paper's
+// tables and figures.
+package esti
+
+import (
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+	"esti/internal/planner"
+)
+
+// Core types, re-exported.
+type (
+	// Model describes a decoder-only Transformer architecture.
+	Model = model.Config
+	// System is a torus of identical chips.
+	System = hardware.System
+	// Torus is a 3D slice shape.
+	Torus = hardware.Torus
+	// Request is one inference configuration to cost.
+	Request = perf.Request
+	// Result is a costed phase outcome.
+	Result = perf.Result
+	// Knobs are the perf-model constants.
+	Knobs = perf.Knobs
+	// Workload is a planner input.
+	Workload = planner.Workload
+	// Plan is a planner output.
+	Plan = planner.Plan
+	// FFNLayout selects a feedforward partitioning.
+	FFNLayout = partition.FFNLayout
+	// AttnLayout selects an attention partitioning.
+	AttnLayout = partition.AttnLayout
+	// DType is a weight storage format.
+	DType = model.DType
+)
+
+// Layout and dtype constants.
+const (
+	FFN1DWeightStationary = partition.FFN1DWeightStationary
+	FFN2DWeightStationary = partition.FFN2DWeightStationary
+	FFNWeightGatheredX    = partition.FFNWeightGatheredX
+	FFNWeightGatheredXY   = partition.FFNWeightGatheredXY
+	FFNWeightGatheredXYZ  = partition.FFNWeightGatheredXYZ
+	AttnShardHeads        = partition.AttnShardHeads
+	AttnShardBatch        = partition.AttnShardBatch
+	BF16                  = model.BF16
+	Int8                  = model.Int8
+)
+
+// PaLM8B returns the PaLM 8B architecture preset.
+func PaLM8B() Model { return model.PaLM8B() }
+
+// PaLM62B returns the PaLM 62B architecture preset.
+func PaLM62B() Model { return model.PaLM62B() }
+
+// PaLM540B returns the padded 64-head variant the paper benchmarks.
+func PaLM540B() Model { return model.PaLM540BPadded() }
+
+// MTNLG530B returns the Megatron-Turing NLG 530B preset (Table D.1).
+func MTNLG530B() Model { return model.MTNLG530B() }
+
+// TPUv4Slice builds a TPU v4 system with the given torus shape.
+func TPUv4Slice(x, y, z int) System { return hardware.TPUv4Slice(x, y, z) }
+
+// DefaultKnobs returns the calibrated perf-model constants.
+func DefaultKnobs() Knobs { return perf.DefaultKnobs() }
+
+// Prefill costs the prefill phase of a request.
+func Prefill(r Request, k Knobs) Result { return perf.Prefill(r, k) }
+
+// Decode costs the decode phase of a request.
+func Decode(r Request, k Knobs) Result { return perf.Decode(r, k) }
+
+// MakePlan selects layouts for a workload, minimizing latency.
+func MakePlan(cfg Model, sys System, dt DType, w Workload, k Knobs) Plan {
+	return planner.Make(cfg, sys, dt, w, planner.MinLatency, k)
+}

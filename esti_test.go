@@ -1,0 +1,66 @@
+package esti
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade must reproduce the paper's headline through the public API
+// alone: 540B int8 batch-64 decode at ~29 ms/token on 64 chips.
+func TestFacadeHeadline(t *testing.T) {
+	res := Decode(Request{
+		Model: PaLM540B(), System: TPUv4Slice(4, 4, 4), Weights: Int8,
+		FFN: FFN2DWeightStationary, Attn: AttnShardBatch,
+		Batch: 64, Context: 2048, Gen: 64,
+	}, DefaultKnobs())
+	if !res.Feasible {
+		t.Fatalf("infeasible: %s", res.Reason)
+	}
+	ms := res.StepTime * 1000
+	if ms < 22 || ms > 38 {
+		t.Errorf("headline decode = %.1f ms/token, want ~29", ms)
+	}
+}
+
+func TestFacadePresets(t *testing.T) {
+	for _, tc := range []struct {
+		cfg   Model
+		wantB float64
+	}{
+		{PaLM8B(), 8.6}, {PaLM62B(), 62.5}, {PaLM540B(), 558}, {MTNLG530B(), 530},
+	} {
+		gotB := tc.cfg.Params() / 1e9
+		if math.Abs(gotB-tc.wantB)/tc.wantB > 0.05 {
+			t.Errorf("%s params = %.1fB, want ~%.0fB", tc.cfg.Name, gotB, tc.wantB)
+		}
+	}
+}
+
+func TestFacadeMakePlan(t *testing.T) {
+	p := MakePlan(PaLM62B(), TPUv4Slice(2, 2, 2), BF16,
+		Workload{Batch: 32, Context: 512, Gen: 32}, DefaultKnobs())
+	if !p.Feasible {
+		t.Fatalf("plan infeasible: %s", p.Reason)
+	}
+	if p.TotalLatency <= 0 {
+		t.Error("non-positive latency")
+	}
+	if p.Decode.FFN != FFN2DWeightStationary && p.Decode.FFN != FFN1DWeightStationary {
+		t.Errorf("decode picked %v, want a weight-stationary layout", p.Decode.FFN)
+	}
+}
+
+func TestFacadePrefill(t *testing.T) {
+	res := Prefill(Request{
+		Model: PaLM62B(), System: TPUv4Slice(4, 2, 2), Weights: Int8,
+		FFN: FFN2DWeightStationary, Attn: AttnShardHeads,
+		Batch: 1, Context: 2048,
+	}, DefaultKnobs())
+	if !res.Feasible {
+		t.Fatalf("infeasible: %s", res.Reason)
+	}
+	// Table 3: 0.16s.
+	if res.Time < 0.10 || res.Time > 0.25 {
+		t.Errorf("62B batch-1 prefill = %.3fs, want ~0.16s", res.Time)
+	}
+}

@@ -1,0 +1,59 @@
+// Offline batch inference: the paper's throughput-oriented scenario —
+// process 1984 input tokens and generate 64 output tokens per example for
+// huge numbers of examples, minimizing cost per token rather than latency.
+//
+// The example sweeps batch size, shows the feedforward layout switching from
+// weight-stationary to weight-gathered as tokens per batch grow (Section
+// 4.1), and reports the resulting MFU — the paper reaches ~73-76% prefill
+// MFU at the largest batches.
+//
+//	go run ./examples/offlinebatch
+package main
+
+import (
+	"fmt"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/perf"
+	"esti/internal/planner"
+)
+
+func main() {
+	cfg := model.PaLM540BPadded()
+	sys := hardware.TPUv4Slice(4, 4, 4)
+	knobs := perf.DefaultKnobs()
+
+	const inputLen, outputLen = 1984, 64
+
+	fmt.Printf("offline scoring: %s on %d chips, %d in / %d out per example, bf16 weights\n\n",
+		cfg.Name, sys.Chips(), inputLen, outputLen)
+	fmt.Printf("%-7s %-13s %-9s %-9s %-11s %-12s %-18s\n",
+		"batch", "tokens/batch", "prefill", "MFU", "decode", "MFU", "cost (chip-ms/tok)")
+
+	bestBatch, bestCost := 0, -1.0
+	for _, batch := range []int{8, 16, 32, 64, 128, 256, 512} {
+		w := planner.Workload{Batch: batch, Context: inputLen, Gen: outputLen}
+		pre, okP := planner.ChoosePrefill(cfg, sys, model.BF16, w, planner.MinCost, knobs)
+		dec, okD := planner.ChooseDecode(cfg, sys, model.BF16, w, planner.MinCost, knobs)
+		if !okP || !okD {
+			fmt.Printf("%-7d does not fit\n", batch)
+			continue
+		}
+		totalTokens := float64(batch) * (inputLen + outputLen)
+		totalTime := pre.Result.Time + dec.Result.Time
+		cost := float64(sys.Chips()) * totalTime / totalTokens
+		fmt.Printf("%-7d %-13d %-9s %-9s %-11s %-12s %.3f   (FFN: %s → %s)\n",
+			batch, batch*inputLen,
+			fmt.Sprintf("%.1fs", pre.Result.Time), fmt.Sprintf("%.0f%%", pre.Result.MFU*100),
+			fmt.Sprintf("%.1fs", dec.Result.Time), fmt.Sprintf("%.0f%%", dec.Result.MFU*100),
+			cost*1000, pre.FFN, dec.FFN)
+		if bestCost < 0 || cost < bestCost {
+			bestBatch, bestCost = batch, cost
+		}
+	}
+
+	fmt.Printf("\nbest cost: batch %d at %.3f chip-ms/token\n", bestBatch, bestCost*1000)
+	fmt.Println("note the prefill layout switching to weight-gathered as the batch grows —")
+	fmt.Println("that switch is Figure 7's crossover, and it is what lifts MFU above 70%.")
+}

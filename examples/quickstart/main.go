@@ -1,0 +1,55 @@
+// Quickstart: cost a Transformer inference configuration with the
+// analytical model, then let the planner pick the best partitioning.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+	"esti/internal/planner"
+)
+
+func main() {
+	// A PaLM 540B-class model on a 64-chip TPU v4 slice.
+	cfg := model.PaLM540BPadded()
+	sys := hardware.TPUv4Slice(4, 4, 4)
+	knobs := perf.DefaultKnobs()
+
+	fmt.Printf("model: %s (%.0fB params, %d layers, d_model %d)\n",
+		cfg.Name, cfg.Params()/1e9, cfg.Layers, cfg.DModel)
+	fmt.Printf("system: %d × TPU v4 (torus %s)\n\n", sys.Chips(), sys.Torus)
+
+	// 1. Cost a specific configuration by hand: batch-64 decode with int8
+	// weights, 2D weight-stationary FFN, batch-sharded multiquery
+	// attention — the paper's low-latency operating point.
+	res := perf.Decode(perf.Request{
+		Model: cfg, System: sys, Weights: model.Int8,
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Batch: 64, Context: 2048, Gen: 64,
+	}, knobs)
+	fmt.Printf("decode, batch 64, int8: %.1f ms/token at %.1f%% MFU\n",
+		res.StepTime*1000, res.MFU*100)
+	fmt.Printf("  breakdown per 64-token generation: compute %.0fms, weights %.0fms, KV %.0fms, comm %.0fms\n\n",
+		res.Breakdown.Compute*1000, res.Breakdown.WeightMem*1000,
+		res.Breakdown.KVMem*1000, res.Breakdown.Comm*1000)
+
+	// 2. Or let the planner choose everything for a workload.
+	plan := planner.Make(cfg, sys, model.BF16,
+		planner.Workload{Batch: 512, Context: 2048, Gen: 64},
+		planner.MinCost, knobs)
+	if !plan.Feasible {
+		fmt.Println("no feasible plan:", plan.Reason)
+		return
+	}
+	fmt.Printf("planner (batch 512, min cost):\n")
+	fmt.Printf("  prefill: %-7s + %-11s → %.1fs at %.1f%% MFU\n",
+		plan.Prefill.FFN, plan.Prefill.Attn, plan.Prefill.Result.Time, plan.Prefill.Result.MFU*100)
+	fmt.Printf("  decode:  %-7s + %-11s → %.1fs at %.1f%% MFU\n",
+		plan.Decode.FFN, plan.Decode.Attn, plan.Decode.Result.Time, plan.Decode.Result.MFU*100)
+	fmt.Printf("  cost: %.3f chip-ms per generated token\n", plan.Decode.Result.Cost*1000)
+}

@@ -1,0 +1,86 @@
+// Sharded inference, functionally: run a real (small) multiquery Transformer
+// across 8 simulated chips with 2D weight-stationary FFN sharding and
+// batch-sharded attention, verify the distributed logits against the
+// unsharded reference, and sample a continuation with top-k/top-p — the
+// whole serving path, in miniature.
+//
+//	go run ./examples/shardedinfer
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"esti/internal/engine"
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/reference"
+	"esti/internal/sampling"
+	"esti/internal/tensor"
+)
+
+func main() {
+	cfg := model.Config{
+		Name: "mini-palm", Layers: 4, DModel: 128, DFF: 256,
+		Heads: 16, HeadDim: 8, KVHeads: 1, Attn: model.Multiquery,
+		FFNKind: model.SwiGLU, ParallelBlock: true, Vocab: 256,
+	}
+	torus := hardware.Torus{X: 2, Y: 2, Z: 2}
+	const batch, promptLen, gen = 8, 8, 12
+
+	w := reference.NewWeights(cfg, 2024)
+	eng, err := engine.New(w, torus, engine.Options{
+		FFN:  partition.FFN2DWeightStationary,
+		Attn: partition.AttnShardBatch,
+	}, batch, promptLen+gen+1)
+	if err != nil {
+		panic(err)
+	}
+	ref := reference.New(w, batch, promptLen+gen+1)
+
+	prompt := make([]int, batch*promptLen)
+	for i := range prompt {
+		prompt[i] = (i*31 + 3) % cfg.Vocab
+	}
+
+	fmt.Printf("%s on a %s mesh: %d layers, %d heads, multiquery, parallel block\n",
+		cfg.Name, torus, cfg.Layers, cfg.Heads)
+
+	engLogits := eng.Prefill(prompt, promptLen)
+	refLogits := ref.Prefill(prompt, promptLen)
+	fmt.Printf("prefill: sharded vs reference max |Δ| = %.2e over %d logits\n\n",
+		tensor.MaxAbsDiff(engLogits, refLogits), len(engLogits.Data))
+
+	// Decode with top-k/top-p sampling, feeding sampled tokens back. The
+	// reference model consumes the same sampled tokens so the two KV
+	// caches stay aligned and every step stays comparable.
+	rng := rand.New(rand.NewSource(7))
+	last := make([]int, batch)
+	for s := 0; s < batch; s++ {
+		last[s] = sampling.Sample(engLogits.Row(s*promptLen+promptLen-1), 0.8, 40, 0.95, rng)
+	}
+	generated := make([][]int, batch)
+	for g := 0; g < gen; g++ {
+		engL := eng.Decode(last)
+		refL := ref.Decode(last)
+		if d := tensor.MaxAbsDiff(engL, refL); d > 1e-3 {
+			fmt.Printf("step %d: WARNING divergence %.2e\n", g, d)
+		}
+		for s := 0; s < batch; s++ {
+			generated[s] = append(generated[s], last[s])
+			last[s] = sampling.Sample(engL.Row(s), 0.8, 40, 0.95, rng)
+		}
+	}
+
+	fmt.Println("sampled continuations (token ids):")
+	for s := 0; s < 3; s++ {
+		fmt.Printf("  seq %d: %v\n", s, generated[s])
+	}
+
+	m := eng.Mesh()
+	fmt.Printf("\nmesh traffic for the whole session: %d messages, %.2f MB (%.2f MB/chip)\n",
+		m.MessagesSent(), float64(m.BytesSent())/1e6, float64(m.BytesSent())/1e6/8)
+	fmt.Printf("per-chip KV cache (batch-sharded): %.1f KB — head-sharded would replicate 8x\n",
+		float64(eng.ChipCacheBytes(0))/1e3)
+}

@@ -1,0 +1,190 @@
+// Package collective implements the communication collectives of Section
+// 3.1 as real message-passing algorithms on the simulated mesh: ring
+// all-gather, ring reduce-scatter, all-reduce (their composition), and
+// direct all-to-all, each over an arbitrary torus axis group.
+//
+// The ring algorithms transfer exactly the volumes the paper's Appendix A
+// cost model assigns them — D·(K-1)/K per chip — which the tests assert by
+// comparing measured mesh traffic against package commcost.
+package collective
+
+import (
+	"fmt"
+
+	"esti/internal/hardware"
+	"esti/internal/mesh"
+)
+
+// Op is a collective operation context: the chip it runs on and the unique
+// op id that namespaces its message tags, so consecutive collectives on the
+// same chips never confuse their messages even when a fast sender runs a
+// step ahead. Every chip in the group must use the same op id for the same
+// collective call (the SPMD program allocates ids in lockstep); AllReduce
+// consumes two consecutive ids, so callers should advance ids by at least 2.
+type Op struct {
+	Chip *mesh.Chip
+	ID   uint64
+}
+
+func (o Op) tag(step int) uint64 { return o.ID<<20 | uint64(step) }
+
+// AllGather concatenates each group member's shard in group-rank order and
+// returns the full buffer, using a bidirectional-free simple ring: K-1
+// steps, each chip forwarding the newest chunk to its ring successor.
+// Per-chip traffic: shardLen·(K-1) elements = D·(K-1)/K for output size D.
+func AllGather(o Op, g hardware.AxisGroup, shard []float32) []float32 {
+	c := o.Chip
+	rank, size := c.GroupRank(g)
+	if size == 1 {
+		out := make([]float32, len(shard))
+		copy(out, shard)
+		return out
+	}
+	chunkLen := len(shard)
+	parts := make([][]float32, size)
+	parts[rank] = shard
+	next := c.GroupPeer(g, (rank+1)%size)
+	prev := c.GroupPeer(g, (rank-1+size)%size)
+	cur := shard
+	for s := 0; s < size-1; s++ {
+		c.Send(next, o.tag(s), cur)
+		cur = c.Recv(prev, o.tag(s))
+		if len(cur) != chunkLen {
+			panic(fmt.Sprintf("collective: all-gather chunk %d != %d", len(cur), chunkLen))
+		}
+		parts[(rank-s-1+2*size)%size] = cur
+	}
+	out := make([]float32, 0, size*chunkLen)
+	for i := 0; i < size; i++ {
+		out = append(out, parts[i]...)
+	}
+	return out
+}
+
+// AllGatherBidirectional is the latency-optimized all-gather variant: each
+// chip forwards chunks around the ring in both directions simultaneously, so
+// the collective completes in ceil((K-1)/2) steps instead of K-1 at the same
+// total volume. This mirrors the paper's Section 3.5 note that they built "a
+// suite of variants of the CollectiveEinsum concept, to optimize for
+// different scenarios: latency versus throughput". Results are identical to
+// AllGather; only the step count (and hence fixed latency) differs.
+func AllGatherBidirectional(o Op, g hardware.AxisGroup, shard []float32) []float32 {
+	c := o.Chip
+	rank, size := c.GroupRank(g)
+	if size == 1 {
+		out := make([]float32, len(shard))
+		copy(out, shard)
+		return out
+	}
+	chunkLen := len(shard)
+	parts := make([][]float32, size)
+	parts[rank] = shard
+	next := c.GroupPeer(g, (rank+1)%size)
+	prev := c.GroupPeer(g, (rank-1+size)%size)
+	fwd := shard // chunk moving in +1 direction (received from prev)
+	bwd := shard // chunk moving in -1 direction (received from next)
+	// The forward lane delivers chunks rank-1-s, the backward lane chunks
+	// rank+1+s; together they cover all K-1 remote chunks in
+	// ceil((K-1)/2) steps, the backward lane idling on the last step when
+	// K-1 is odd.
+	for s := 0; s < fwdSteps(size); s++ {
+		backActive := s < bwdSteps(size)
+		c.Send(next, o.tag(2*s), fwd)
+		if backActive {
+			c.Send(prev, o.tag(2*s+1), bwd)
+		}
+		fwd = c.Recv(prev, o.tag(2*s))
+		if len(fwd) != chunkLen {
+			panic("collective: bidirectional all-gather chunk size mismatch")
+		}
+		parts[(rank-s-1+2*size)%size] = fwd
+		if backActive {
+			bwd = c.Recv(next, o.tag(2*s+1))
+			parts[(rank+s+1)%size] = bwd
+		}
+	}
+	out := make([]float32, 0, size*chunkLen)
+	for i := 0; i < size; i++ {
+		out = append(out, parts[i]...)
+	}
+	return out
+}
+
+// fwdSteps and bwdSteps split the K-1 chunk deliveries between the two ring
+// directions: forward carries ceil((K-1)/2), backward floor((K-1)/2).
+func fwdSteps(size int) int { return (size - 1 + 1) / 2 }
+func bwdSteps(size int) int { return (size - 1) / 2 }
+
+// ReduceScatter sums `full` elementwise across the group and returns this
+// chip's shard (group-rank-indexed chunk of the sum). len(full) must divide
+// evenly by the group size. Per-chip traffic: chunk·(K-1) = D·(K-1)/K for
+// input size D.
+func ReduceScatter(o Op, g hardware.AxisGroup, full []float32) []float32 {
+	c := o.Chip
+	rank, size := c.GroupRank(g)
+	if size == 1 {
+		out := make([]float32, len(full))
+		copy(out, full)
+		return out
+	}
+	if len(full)%size != 0 {
+		panic(fmt.Sprintf("collective: reduce-scatter %d elements over %d chips", len(full), size))
+	}
+	chunkLen := len(full) / size
+	chunk := func(buf []float32, i int) []float32 { return buf[i*chunkLen : (i+1)*chunkLen] }
+	acc := make([]float32, len(full))
+	copy(acc, full)
+	next := c.GroupPeer(g, (rank+1)%size)
+	prev := c.GroupPeer(g, (rank-1+size)%size)
+	for s := 0; s < size-1; s++ {
+		sendIdx := (rank - 1 - s + 2*size) % size
+		c.Send(next, o.tag(s), chunk(acc, sendIdx))
+		recvIdx := (rank - 2 - s + 3*size) % size
+		in := c.Recv(prev, o.tag(s))
+		dst := chunk(acc, recvIdx)
+		for i, v := range in {
+			dst[i] += v
+		}
+	}
+	out := make([]float32, chunkLen)
+	copy(out, chunk(acc, rank))
+	return out
+}
+
+// AllReduce composes ReduceScatter and AllGather (the paper's preferred
+// decomposition, after Rajbhandari et al. 2020). Each phase gets its own tag
+// space via the step offset.
+func AllReduce(o Op, g hardware.AxisGroup, full []float32) []float32 {
+	shard := ReduceScatter(o, g, full)
+	o2 := Op{Chip: o.Chip, ID: o.ID + 1}
+	return AllGather(o2, g, shard)
+}
+
+// AllToAll sends shards[i] to group member i and returns the received
+// shards in group-rank order (own shard passed through). Transfers are
+// direct pairwise messages, matching the collective's use for resharding in
+// Figure 5(b).
+func AllToAll(o Op, g hardware.AxisGroup, shards [][]float32) [][]float32 {
+	c := o.Chip
+	rank, size := c.GroupRank(g)
+	if len(shards) != size {
+		panic(fmt.Sprintf("collective: all-to-all %d shards for group of %d", len(shards), size))
+	}
+	out := make([][]float32, size)
+	own := make([]float32, len(shards[rank]))
+	copy(own, shards[rank])
+	out[rank] = own
+	for i := 0; i < size; i++ {
+		if i == rank {
+			continue
+		}
+		c.Send(c.GroupPeer(g, i), o.tag(i), shards[i])
+	}
+	for i := 0; i < size; i++ {
+		if i == rank {
+			continue
+		}
+		out[i] = c.Recv(c.GroupPeer(g, i), o.tag(rank))
+	}
+	return out
+}

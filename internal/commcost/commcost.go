@@ -1,0 +1,159 @@
+// Package commcost provides the closed-form communication cost model of the
+// paper's Appendix A: collective-primitive times on a torus and the
+// per-layer communication volumes each feedforward / attention partitioning
+// layout induces.
+//
+// The primitive model (A.1): an all-gather over K chips where each chip ends
+// with D bytes of output moves D·(K-1)/K bytes over each chip's links, so
+//
+//	T = D/(bandwidth) · (K-1)/K
+//
+// Reduce-scatter is symmetric with D the (larger) per-chip input;
+// all-reduce is the composition of the two. This holds for most real
+// topologies (Chan et al. 2007), not just tori.
+package commcost
+
+import (
+	"math"
+
+	"esti/internal/hardware"
+	"esti/internal/partition"
+)
+
+// frac returns the (K-1)/K efficiency factor, 0 for K <= 1 (a collective
+// over one chip moves no bytes).
+func frac(k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return float64(k-1) / float64(k)
+}
+
+// AllGatherVolume is the bytes each chip transfers in an all-gather over k
+// chips whose per-chip output is outBytes.
+func AllGatherVolume(outBytes float64, k int) float64 { return outBytes * frac(k) }
+
+// ReduceScatterVolume is the bytes each chip transfers in a reduce-scatter
+// over k chips whose per-chip input is inBytes.
+func ReduceScatterVolume(inBytes float64, k int) float64 { return inBytes * frac(k) }
+
+// AllReduceVolume composes a reduce-scatter and an all-gather over the same
+// per-chip buffer.
+func AllReduceVolume(bytes float64, k int) float64 { return 2 * bytes * frac(k) }
+
+// AllToAllVolume is the bytes each chip transfers resharding a per-chip
+// buffer of the given size across k chips: each chip keeps 1/k of its data
+// and sends the rest directly to its destination.
+func AllToAllVolume(bytes float64, k int) float64 { return bytes * frac(k) }
+
+// Time converts a per-chip communication volume into seconds at the given
+// per-chip network bandwidth (bytes/s).
+func Time(volumeBytes, bandwidth float64) float64 {
+	if volumeBytes <= 0 {
+		return 0
+	}
+	return volumeBytes / bandwidth
+}
+
+// FFNComm is the per-chip, per-layer communication a feedforward layout
+// requires, split into the activation aggregation traffic and (for
+// weight-gathered layouts) the weight broadcast traffic.
+type FFNComm struct {
+	// ActBytes is the per-chip activation collective volume.
+	ActBytes float64
+	// WeightBytes is the per-chip weight all-gather volume (zero for
+	// weight-stationary layouts).
+	WeightBytes float64
+}
+
+// Total is the combined per-chip volume.
+func (c FFNComm) Total() float64 { return c.ActBytes + c.WeightBytes }
+
+// FFNLayerComm evaluates the layout's per-layer communication for a pass of
+// `tokens` logical tokens through a layer with model width e and
+// feedforward width f, activation element size actBytes, and total layer
+// weight footprint layerWeightBytes (already in bytes, i.e. params·dtype).
+//
+// The formulas are Section 3.2 / Appendix A.2 with exact (K-1)/K factors:
+//
+//	1D WS:  one AG + one RS over all chips on full BLE activations.
+//	2D WS:  an AG/RS pair over Y·Z on E/X-wide activations plus a pair
+//	        over X on F/(Y·Z)-wide activations.
+//	WG-N:   weights all-gathered over the N-chip group; activations keep a
+//	        single AG/RS pair over the complement axes (none for XYZ).
+func FFNLayerComm(p partition.FFNPlan, tokens, e, f, actBytes, layerWeightBytes float64) FFNComm {
+	t := p.Torus
+	n := t.Chips()
+	yz := t.Y * t.Z
+	switch p.Layout {
+	case partition.FFN1DWeightStationary:
+		per := tokens * e * actBytes
+		return FFNComm{ActBytes: AllGatherVolume(per, n) + ReduceScatterVolume(per, n)}
+	case partition.FFN2DWeightStationary:
+		ePer := tokens * (e / float64(t.X)) * actBytes
+		fPer := tokens * (f / float64(yz)) * actBytes
+		act := AllGatherVolume(ePer, yz) + ReduceScatterVolume(ePer, yz) +
+			AllGatherVolume(fPer, t.X) + ReduceScatterVolume(fPer, t.X)
+		return FFNComm{ActBytes: act}
+	case partition.FFNWeightGatheredX:
+		ng := t.X
+		w := AllGatherVolume(layerWeightBytes*float64(ng)/float64(n), ng)
+		per := (tokens / float64(ng)) * e * actBytes
+		act := AllGatherVolume(per, yz) + ReduceScatterVolume(per, yz)
+		return FFNComm{ActBytes: act, WeightBytes: w}
+	case partition.FFNWeightGatheredXY:
+		ng := t.X * t.Y
+		w := AllGatherVolume(layerWeightBytes*float64(ng)/float64(n), ng)
+		per := (tokens / float64(ng)) * e * actBytes
+		act := AllGatherVolume(per, t.Z) + ReduceScatterVolume(per, t.Z)
+		return FFNComm{ActBytes: act, WeightBytes: w}
+	case partition.FFNWeightGatheredXYZ:
+		w := AllGatherVolume(layerWeightBytes, n)
+		return FFNComm{WeightBytes: w}
+	}
+	panic("commcost: unknown FFN layout")
+}
+
+// AttnAllToAllBytes is the per-chip volume of the two all-to-all reshards
+// the batch-sharded multiquery layout adds (Figure 5(b)): Q, K and V move
+// from head-sharded to batch-sharded before attention, and the attention
+// output moves back. tokens is the per-step token count (the batch during
+// decode), actBytes the activation element size.
+func AttnAllToAllBytes(p partition.AttnPlan, tokens float64, headDim int, actBytes float64) float64 {
+	if !p.NeedsAllToAll() {
+		return 0
+	}
+	n := p.Torus.Chips()
+	qkv := tokens * float64(p.Heads+2*p.KVHeads) * float64(headDim) * actBytes / float64(n)
+	out := tokens * float64(p.Heads) * float64(headDim) * actBytes / float64(n)
+	return AllToAllVolume(qkv, n) + AllToAllVolume(out, n)
+}
+
+// OptimalGatherFactor is the continuous minimizer of the weight-gathered
+// total volume: N* = sqrt(2·tokens·E·actBytes·nchips / layerWeightBytes)
+// (Appendix A.2.2; with the paper's 2-matrix bf16 MLP this reduces to their
+// N = sqrt(B·L·nchips/F)). Callers clamp to the available variants
+// {X, X·Y, X·Y·Z}.
+func OptimalGatherFactor(tokens, e, actBytes, layerWeightBytes float64, nchips int) float64 {
+	if layerWeightBytes <= 0 {
+		return float64(nchips)
+	}
+	nOpt := math.Sqrt(2 * tokens * e * actBytes * float64(nchips) / layerWeightBytes)
+	return math.Max(1, math.Min(nOpt, float64(nchips)))
+}
+
+// BestFFNLayout evaluates all five layouts and returns the one with minimum
+// total per-layer volume, with its communication. Ties break toward the
+// earlier layout in partition.FFNLayouts order (weight-stationary first).
+func BestFFNLayout(t hardware.Torus, tokens, e, f, actBytes, layerWeightBytes float64) (partition.FFNLayout, FFNComm) {
+	best := partition.FFN1DWeightStationary
+	var bestComm FFNComm
+	bestTotal := math.Inf(1)
+	for _, l := range partition.FFNLayouts {
+		c := FFNLayerComm(partition.PlanFFN(l, t), tokens, e, f, actBytes, layerWeightBytes)
+		if c.Total() < bestTotal {
+			best, bestComm, bestTotal = l, c, c.Total()
+		}
+	}
+	return best, bestComm
+}

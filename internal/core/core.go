@@ -1,0 +1,74 @@
+// Package core composes the paper's primary contribution — the partitioning
+// framework (package partition), its communication cost algebra (package
+// commcost), the calibrated performance model (package perf) and the layout
+// selector (package planner) — into the single question the paper answers:
+// given a model, a chip budget, a weight precision and an application
+// workload, how should inference be partitioned and what will it cost?
+//
+// Assess answers it end to end, returning the chosen torus shape, the
+// per-phase layouts, and the predicted latency/cost/MFU. The lower-level
+// packages remain the API for anything finer-grained.
+package core
+
+import (
+	"fmt"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/perf"
+	"esti/internal/planner"
+)
+
+// Question is a fully-specified serving question.
+type Question struct {
+	Model   model.Config
+	Chips   int
+	Weights model.DType
+	// Workload: Batch sequences, Context new input tokens (after Past
+	// cached tokens), Gen output tokens.
+	Batch, Context, Past, Gen int
+	// Objective defaults to minimum latency; set MinCost to optimize
+	// chip-seconds per token instead.
+	Objective planner.Objective
+	// Knobs default to the calibrated constants when zero-valued
+	// MatmulEffMax is detected.
+	Knobs perf.Knobs
+}
+
+// Answer is the assessment.
+type Answer struct {
+	Plan planner.Plan
+	// TokensPerSecond is generated-token throughput of the decode phase
+	// (0 for prefill-only workloads).
+	TokensPerSecond float64
+	// CostPerToken is decode chip-seconds per generated token (prefill
+	// cost for prefill-only workloads).
+	CostPerToken float64
+}
+
+// Assess picks the best torus shape and layouts for the question and
+// predicts the outcome.
+func Assess(q Question) (Answer, error) {
+	if q.Chips < 1 {
+		return Answer{}, fmt.Errorf("core: chip count %d", q.Chips)
+	}
+	k := q.Knobs
+	if k.MatmulEffMax == 0 {
+		k = perf.DefaultKnobs()
+	}
+	w := planner.Workload{Batch: q.Batch, Context: q.Context, Past: q.Past, Gen: q.Gen}
+	plan, ok := planner.BestSystem(q.Model, hardware.TPUv4(), q.Chips, q.Weights, w, q.Objective, k)
+	if !ok {
+		return Answer{}, fmt.Errorf("core: no feasible partitioning for %s on %d chips (batch %d, context %d)",
+			q.Model.Name, q.Chips, q.Batch, q.Past+q.Context+q.Gen)
+	}
+	a := Answer{Plan: plan}
+	if q.Gen > 0 {
+		dec := plan.Decode.Result
+		a.TokensPerSecond = dec.Tokens / dec.Time
+		a.CostPerToken = dec.Cost
+	} else {
+		a.CostPerToken = plan.Prefill.Result.Cost
+	}
+	return a, nil
+}

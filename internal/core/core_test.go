@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"esti/internal/model"
+	"esti/internal/planner"
+)
+
+func TestAssessHeadline(t *testing.T) {
+	a, err := Assess(Question{
+		Model: model.PaLM540BPadded(), Chips: 64, Weights: model.Int8,
+		Batch: 64, Context: 2048, Gen: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 1 / (a.TokensPerSecond / 64) // seconds per step at batch 64
+	if step < 0.015 || step > 0.040 {
+		t.Errorf("assessed step time %.1fms, want ~29ms", step*1000)
+	}
+	if a.Plan.System.Chips() != 64 {
+		t.Errorf("chose %d chips", a.Plan.System.Chips())
+	}
+	if a.CostPerToken != a.Plan.Decode.Result.Cost {
+		t.Error("cost mismatch")
+	}
+}
+
+func TestAssessPrefillOnly(t *testing.T) {
+	a, err := Assess(Question{
+		Model: model.PaLM62B(), Chips: 32, Weights: model.BF16,
+		Batch: 512, Context: 2048, Objective: planner.MinCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TokensPerSecond != 0 {
+		t.Error("prefill-only workload should report zero generation throughput")
+	}
+	if a.CostPerToken <= 0 {
+		t.Error("prefill cost missing")
+	}
+	if !a.Plan.Prefill.FFN.WeightGathered() {
+		t.Errorf("512x2048-token prefill chose %v, expected weight-gathered", a.Plan.Prefill.FFN)
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	if _, err := Assess(Question{Model: model.PaLM540BPadded(), Chips: 0, Weights: model.BF16, Batch: 1, Context: 8}); err == nil {
+		t.Error("zero chips should error")
+	}
+	if _, err := Assess(Question{Model: model.PaLM540BPadded(), Chips: 1, Weights: model.BF16, Batch: 1, Context: 8, Gen: 1}); err == nil {
+		t.Error("540B on one chip should error")
+	}
+}
+
+// Default knobs kick in when the caller leaves Knobs zero.
+func TestAssessDefaultKnobs(t *testing.T) {
+	q := Question{
+		Model: model.PaLM8B(), Chips: 8, Weights: model.BF16,
+		Batch: 16, Context: 256, Gen: 16,
+	}
+	a, err := Assess(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan.Decode.Result.MFU <= 0 || a.Plan.Decode.Result.MFU > 1 {
+		t.Errorf("MFU %g out of range", a.Plan.Decode.Result.MFU)
+	}
+}

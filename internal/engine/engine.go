@@ -1,0 +1,399 @@
+// Package engine executes a decoder-only Transformer across a simulated
+// chip mesh using the paper's partitioning layouts, with every cross-chip
+// byte moved by real collectives (package collective) over real messages
+// (package mesh). Its contract: for any supported layout, the distributed
+// logits equal the unsharded reference model's logits.
+//
+// Layouts implemented functionally:
+//
+//   - FFN 1D weight-stationary (Section 3.2.1): weights sharded along d_ff
+//     over all chips; activations all-gathered to full width before the
+//     first matmul and reduce-scattered after the second.
+//   - FFN 2D weight-stationary (Section 3.2.2): weights sharded E×F over
+//     the torus X axis and the Y·Z plane; activations alternate aggregation
+//     over the two axes and are never fully replicated.
+//   - Attention sharded over heads (Figure 4(a)/(b)): each chip owns a head
+//     block; for multiquery models the single K/V head is replicated per
+//     chip — the memory pathology the paper identifies.
+//   - Attention sharded over batch (Figure 4(c)/5(b)): the KV cache is
+//     partitioned over sequences; per-step Q and attention outputs are
+//     resharded with all-to-all collectives.
+//   - FFN weight-gathered XYZ (Section 3.2.3, Figure A.2(c)): activations
+//     stay token-sharded for the whole pass while each layer's weights are
+//     all-gathered from the same ExFyz at-rest shards the 2D layout stores;
+//     all communication is weight traffic (see wgxyz.go).
+//
+// The partially-gathered X / XY variants remain analytic-only (packages
+// commcost/perf); their volume formulas interpolate between the 2D
+// weight-stationary and XYZ-gathered endpoints that are both validated
+// functionally here.
+//
+// Activations live E-sharded across all chips between layers (the residual
+// stream shard is [tokens, E/nchips]); RMS normalization uses a tiny
+// per-token all-reduce of sums of squares. Unlike the production system the
+// attention projections are not fused into the FFN matmuls — fusion is a
+// throughput optimization with identical numerics, and keeping them separate
+// keeps each layout legible.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"esti/internal/collective"
+	"esti/internal/hardware"
+	"esti/internal/kvcache"
+	"esti/internal/mesh"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/quant"
+	"esti/internal/reference"
+	"esti/internal/tensor"
+)
+
+// Options selects the partitioning and weight format.
+type Options struct {
+	FFN  partition.FFNLayout
+	Attn partition.AttnLayout
+	// Int8Weights stores all projection matrices quantized (per-column
+	// symmetric int8), reproducing the paper's weight-only quantization.
+	Int8Weights bool
+}
+
+// weight is a matrix in either float or int8 form.
+type weight struct {
+	f *tensor.Mat
+	q *quant.Int8Mat
+}
+
+// shardWeight slices a full weight matrix to a chip's shard. In int8 mode
+// the full matrix is quantized first and the quantized values sliced with
+// their shared column scales — quantize-once-then-shard, as a real
+// checkpoint pipeline does — so every chip's arithmetic is consistent with
+// the unsharded quantized model. nil rows/cols mean "all".
+func shardWeight(full *tensor.Mat, rows, cols []int, int8w bool) weight {
+	if int8w {
+		q := quant.Quantize(full)
+		if rows != nil {
+			q = q.SelectRows(rows)
+		}
+		if cols != nil {
+			q = q.SelectCols(cols)
+		}
+		return weight{q: q}
+	}
+	m := full
+	if rows != nil {
+		m = selectRows(m, rows)
+	}
+	if cols != nil {
+		m = selectCols(m, cols)
+	}
+	if m == full {
+		m = full.Clone()
+	}
+	return weight{f: m}
+}
+
+func (w weight) mul(a *tensor.Mat) *tensor.Mat {
+	if w.q != nil {
+		return quant.MatMul(a, w.q)
+	}
+	return tensor.MatMul(a, w.f)
+}
+
+// chipLayer is one layer's weight shards on one chip.
+type chipLayer struct {
+	normGain    []float32
+	ffnNormGain []float32
+	// FFN shards per the layout (see buildChip).
+	wGate, wUp, wDown weight
+	// Attention shards: this chip's query-head block, K/V per variant,
+	// and the matching WO row block.
+	wq, wk, wv, wo weight
+}
+
+// chipState is everything one chip owns.
+type chipState struct {
+	layers    []chipLayer
+	embedCols *tensor.Mat // [vocab, E/n]: this chip's residual-stream slice
+	embedRows *tensor.Mat // [vocab/n, E]: this chip's logit rows
+	finalGain []float32
+	cache     *kvcache.Cache
+	opID      uint64
+	// wg carries the weight-gathered path's state (nil otherwise).
+	wg *wgState
+}
+
+// Engine is a sharded inference session.
+type Engine struct {
+	cfg    model.Config
+	torus  hardware.Torus
+	opts   Options
+	m      *mesh.Mesh
+	chips  []*chipState
+	batch  int
+	maxLen int
+}
+
+// New shards the reference weights onto a mesh. It validates the
+// divisibility constraints the layouts need.
+func New(w *reference.Weights, t hardware.Torus, opts Options, batch, maxLen int) (*Engine, error) {
+	cfg := w.Cfg
+	n := t.Chips()
+	yz := t.Y * t.Z
+	if cfg.DModel%n != 0 {
+		return nil, fmt.Errorf("engine: d_model %d not divisible by %d chips", cfg.DModel, n)
+	}
+	if cfg.Vocab%n != 0 {
+		return nil, fmt.Errorf("engine: vocab %d not divisible by %d chips", cfg.Vocab, n)
+	}
+	if cfg.Heads%n != 0 {
+		return nil, fmt.Errorf("engine: %d heads not divisible by %d chips", cfg.Heads, n)
+	}
+	switch opts.FFN {
+	case partition.FFN1DWeightStationary:
+		if cfg.DFF%n != 0 {
+			return nil, fmt.Errorf("engine: d_ff %d not divisible by %d chips", cfg.DFF, n)
+		}
+	case partition.FFN2DWeightStationary:
+		if cfg.DFF%(yz*t.X) != 0 {
+			return nil, fmt.Errorf("engine: d_ff %d not divisible by X·YZ = %d", cfg.DFF, yz*t.X)
+		}
+	case partition.FFNWeightGatheredXYZ:
+		// Token-sharded activations: attention must be batch-sharded and
+		// the batch must split evenly; weights gather from ExFyz shards.
+		if cfg.DFF%(yz*t.X) != 0 {
+			return nil, fmt.Errorf("engine: d_ff %d not divisible by X·YZ = %d", cfg.DFF, yz*t.X)
+		}
+		if opts.Attn != partition.AttnShardBatch {
+			return nil, fmt.Errorf("engine: weight-gathered XYZ requires batch-sharded attention")
+		}
+		if opts.Int8Weights {
+			return nil, fmt.Errorf("engine: weight-gathered XYZ is float-only in the functional engine")
+		}
+	default:
+		return nil, fmt.Errorf("engine: layout %v not supported functionally (analytic only)", opts.FFN)
+	}
+	if opts.Attn == partition.AttnShardBatch && batch%n != 0 {
+		return nil, fmt.Errorf("engine: batch %d not divisible by %d chips for batch sharding", batch, n)
+	}
+	if cfg.Attn == model.Multihead && cfg.KVHeads%n != 0 && opts.Attn == partition.AttnShardHeads {
+		return nil, fmt.Errorf("engine: %d KV heads not divisible by %d chips", cfg.KVHeads, n)
+	}
+
+	e := &Engine{cfg: cfg, torus: t, opts: opts, m: mesh.New(t), batch: batch, maxLen: maxLen}
+	e.chips = make([]*chipState, n)
+	for r := 0; r < n; r++ {
+		e.chips[r] = e.buildChip(w, r)
+	}
+	return e, nil
+}
+
+// Mesh exposes the fabric for traffic inspection.
+func (e *Engine) Mesh() *mesh.Mesh { return e.m }
+
+// ChipCacheBytes returns the allocated KV-cache bytes on one chip — the
+// quantity whose sharding behavior Table 1 is about.
+func (e *Engine) ChipCacheBytes(rank int) int { return e.chips[rank].cache.Bytes() }
+
+// Batch returns the session batch size.
+func (e *Engine) Batch() int { return e.batch }
+
+// eStripe returns the ordered E-column indices a chip's 2D-WS x-stripe
+// covers: the concatenation, in yz-group order, of the E/n blocks whose
+// block index is x + X·j. This is the order AllGather(yz) assembles
+// activation chunks in, so weight shards are built with matching rows.
+func (e *Engine) eStripe(rank int) []int {
+	t := e.torus
+	n := t.Chips()
+	blockLen := e.cfg.DModel / n
+	x := rank % t.X
+	yzCount := t.Y * t.Z
+	idx := make([]int, 0, yzCount*blockLen)
+	for j := 0; j < yzCount; j++ {
+		block := x + t.X*j
+		for i := 0; i < blockLen; i++ {
+			idx = append(idx, block*blockLen+i)
+		}
+	}
+	return idx
+}
+
+// selectRows copies the given rows of m in order.
+func selectRows(m *tensor.Mat, rows []int) *tensor.Mat {
+	out := tensor.New(len(rows), m.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// selectCols copies the given columns of m in order.
+func selectCols(m *tensor.Mat, cols []int) *tensor.Mat {
+	out := tensor.New(m.Rows, len(cols))
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, c := range cols {
+			dst[j] = src[c]
+		}
+	}
+	return out
+}
+
+func contiguous(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// buildChip slices the full weights into one chip's shards.
+func (e *Engine) buildChip(w *reference.Weights, rank int) *chipState {
+	cfg := e.cfg
+	t := e.torus
+	n := t.Chips()
+	yz := t.Y * t.Z
+	yzIdx := rank / t.X
+	eBlock := cfg.DModel / n
+	int8w := e.opts.Int8Weights
+
+	st := &chipState{
+		embedCols: selectCols(w.Embed, contiguous(rank*eBlock, eBlock)),
+		embedRows: selectRows(w.Embed, contiguous(rank*(cfg.Vocab/n), cfg.Vocab/n)),
+		finalGain: sliceGain(w.FinalGain, rank*eBlock, eBlock),
+	}
+	if e.opts.FFN == partition.FFNWeightGatheredXYZ {
+		// Token-sharded path: full-width gains and embedding, at-rest
+		// ExFyz weight shards, batch-sharded KV cache.
+		st.wg = e.buildWG(w, rank)
+		st.finalGain = append([]float32(nil), w.FinalGain...)
+		st.cache = kvcache.New(cfg.Layers, e.batch/n, e.maxLen, cfg.KVHeads*cfg.HeadDim)
+		return st
+	}
+
+	headsPC := cfg.Heads / n
+	dh := cfg.HeadDim
+	for l := range w.Layers {
+		lw := &w.Layers[l]
+		cl := chipLayer{
+			normGain:    sliceGain(lw.NormGain, rank*eBlock, eBlock),
+			ffnNormGain: sliceGain(lw.FFNNormGain, rank*eBlock, eBlock),
+		}
+
+		// FFN shards.
+		switch e.opts.FFN {
+		case partition.FFN1DWeightStationary:
+			fBlock := cfg.DFF / n
+			fCols := contiguous(rank*fBlock, fBlock)
+			if lw.WGate != nil {
+				cl.wGate = shardWeight(lw.WGate, nil, fCols, int8w)
+			}
+			cl.wUp = shardWeight(lw.WUp, nil, fCols, int8w)
+			cl.wDown = shardWeight(lw.WDown, fCols, nil, int8w)
+		case partition.FFN2DWeightStationary:
+			stripe := e.eStripe(rank)
+			fPerYZ := cfg.DFF / yz
+			fCols := contiguous(yzIdx*fPerYZ, fPerYZ)
+			if lw.WGate != nil {
+				cl.wGate = shardWeight(lw.WGate, stripe, fCols, int8w)
+			}
+			cl.wUp = shardWeight(lw.WUp, stripe, fCols, int8w)
+			cl.wDown = shardWeight(lw.WDown, fCols, stripe, int8w)
+		}
+
+		// Attention shards: query heads split over all chips.
+		hCols := contiguous(rank*headsPC*dh, headsPC*dh)
+		cl.wq = shardWeight(lw.WQ, nil, hCols, int8w)
+		cl.wo = shardWeight(lw.WO, hCols, nil, int8w)
+		switch {
+		case e.opts.Attn == partition.AttnShardBatch || cfg.KVHeads == 1:
+			// Batch sharding (any variant) and head-sharded multiquery
+			// both need the full K/V projections on every chip: the
+			// single multiquery head is replicated (Figure 4(b)), and a
+			// batch shard attends with all heads.
+			cl.wk = shardWeight(lw.WK, nil, nil, int8w)
+			cl.wv = shardWeight(lw.WV, nil, nil, int8w)
+		default:
+			// Head-sharded multihead: K/V columns for this chip's heads.
+			kvPC := cfg.KVHeads / n
+			kvCols := contiguous(rank*kvPC*dh, kvPC*dh)
+			cl.wk = shardWeight(lw.WK, nil, kvCols, int8w)
+			cl.wv = shardWeight(lw.WV, nil, kvCols, int8w)
+		}
+		st.layers = append(st.layers, cl)
+	}
+
+	// KV cache shard.
+	switch e.opts.Attn {
+	case partition.AttnShardBatch:
+		st.cache = kvcache.New(cfg.Layers, e.batch/n, e.maxLen, cfg.KVHeads*dh)
+	case partition.AttnShardHeads:
+		width := cfg.KVHeads * dh // multiquery: replicated single head
+		if cfg.KVHeads > 1 {
+			width = cfg.KVHeads / n * dh
+		}
+		st.cache = kvcache.New(cfg.Layers, e.batch, e.maxLen, width)
+	}
+	return st
+}
+
+func sliceGain(g []float32, lo, n int) []float32 {
+	out := make([]float32, n)
+	copy(out, g[lo:lo+n])
+	return out
+}
+
+// op mints a fresh collective op id (same sequence on every chip because the
+// program is SPMD-deterministic).
+func (st *chipState) op(c *mesh.Chip) collective.Op {
+	o := collective.Op{Chip: c, ID: st.opID}
+	st.opID += 2
+	return o
+}
+
+// agCols all-gathers column shards into a full-width matrix (group-rank
+// column order), transposing so the flat collective concatenates columns.
+func agCols(o collective.Op, g hardware.AxisGroup, m *tensor.Mat, size int) *tensor.Mat {
+	tr := tensor.Transpose(m)
+	full := collective.AllGather(o, g, tr.Data)
+	return tensor.Transpose(tensor.FromSlice(full, tr.Rows*size, tr.Cols))
+}
+
+// rsCols reduce-scatters a partial-sum matrix over its columns, returning
+// this chip's column chunk of the summed matrix.
+func rsCols(o collective.Op, g hardware.AxisGroup, m *tensor.Mat, size int) *tensor.Mat {
+	tr := tensor.Transpose(m)
+	shard := collective.ReduceScatter(o, g, tr.Data)
+	return tensor.Transpose(tensor.FromSlice(shard, tr.Rows/size, tr.Cols))
+}
+
+// shardNorm RMS-normalizes an E-sharded activation using a per-token
+// all-reduce of local sums of squares.
+func shardNorm(c *mesh.Chip, st *chipState, x *tensor.Mat, gain []float32, eTotal int) *tensor.Mat {
+	sumsq := make([]float32, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		var s float32
+		for _, v := range x.Row(i) {
+			s += v * v
+		}
+		sumsq[i] = s
+	}
+	// op() advances the id by 2, exactly the two ids AllReduce consumes.
+	total := collective.AllReduce(st.op(c), hardware.GroupXYZ, sumsq)
+	out := tensor.New(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		inv := invSqrt(total[i]/float32(eTotal) + 1e-6)
+		src, dst := x.Row(i), out.Row(i)
+		for j := range src {
+			dst[j] = src[j] * inv * gain[j]
+		}
+	}
+	return out
+}
+
+func invSqrt(v float32) float32 {
+	return float32(1 / math.Sqrt(float64(v)))
+}

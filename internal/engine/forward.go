@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"esti/internal/collective"
+	"esti/internal/hardware"
+	"esti/internal/mesh"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/reference"
+	"esti/internal/tensor"
+)
+
+// Prefill processes `steps` new tokens per sequence (sequence-major) across
+// the mesh and returns the full logits [batch·steps, vocab] (identical on
+// every chip; chip 0's copy is returned).
+func (e *Engine) Prefill(tokens []int, steps int) *tensor.Mat {
+	if len(tokens) != e.batch*steps {
+		panic(fmt.Sprintf("engine: %d tokens for batch %d × steps %d", len(tokens), e.batch, steps))
+	}
+	return e.forward(tokens, steps)
+}
+
+// Decode runs one autoregressive step from each sequence's last token and
+// returns [batch, vocab] logits.
+func (e *Engine) Decode(last []int) *tensor.Mat {
+	if len(last) != e.batch {
+		panic(fmt.Sprintf("engine: %d last-tokens for batch %d", len(last), e.batch))
+	}
+	return e.forward(last, 1)
+}
+
+// Generate greedily decodes `gen` tokens after prefilling, mirroring
+// reference.Model.Generate.
+func (e *Engine) Generate(prompt []int, promptLen, gen int) [][]int {
+	logits := e.Prefill(prompt, promptLen)
+	out := make([][]int, e.batch)
+	last := make([]int, e.batch)
+	for s := 0; s < e.batch; s++ {
+		last[s] = argmaxRow(logits, s*promptLen+promptLen-1)
+		out[s] = append(out[s], last[s])
+	}
+	for g := 1; g < gen; g++ {
+		logits = e.Decode(last)
+		for s := 0; s < e.batch; s++ {
+			last[s] = argmaxRow(logits, s)
+			out[s] = append(out[s], last[s])
+		}
+	}
+	return out
+}
+
+func argmaxRow(m *tensor.Mat, r int) int {
+	row := m.Row(r)
+	best := 0
+	for i, v := range row {
+		if v > row[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// forward runs the SPMD program on every chip and returns chip 0's logits.
+func (e *Engine) forward(tokens []int, steps int) *tensor.Mat {
+	if e.opts.FFN == partition.FFNWeightGatheredXYZ {
+		return e.forwardWG(tokens, steps)
+	}
+	nTok := e.batch * steps
+	results := make([]*tensor.Mat, e.m.Chips())
+	var mu sync.Mutex
+	e.m.Run(func(c *mesh.Chip) {
+		st := e.chips[c.Rank]
+		past := st.cache.Len
+
+		// Embedding lookup onto this chip's residual-stream slice.
+		x := tensor.New(nTok, st.embedCols.Cols)
+		for i, tok := range tokens {
+			if tok < 0 || tok >= e.cfg.Vocab {
+				panic(fmt.Sprintf("engine: token %d out of vocab %d", tok, e.cfg.Vocab))
+			}
+			copy(x.Row(i), st.embedCols.Row(tok))
+		}
+
+		for l := range st.layers {
+			cl := &st.layers[l]
+			if e.cfg.ParallelBlock {
+				h := shardNorm(c, st, x, cl.normGain, e.cfg.DModel)
+				attnY := e.attnBlock(c, st, cl, l, h, steps, past)
+				ffnY := e.ffnBlock(c, st, cl, h)
+				x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
+			} else {
+				h := shardNorm(c, st, x, cl.normGain, e.cfg.DModel)
+				x = tensor.AddInPlace(x, e.attnBlock(c, st, cl, l, h, steps, past))
+				h2 := shardNorm(c, st, x, cl.ffnNormGain, e.cfg.DModel)
+				x = tensor.AddInPlace(x, e.ffnBlock(c, st, cl, h2))
+			}
+		}
+		st.cache.Advance(steps)
+
+		final := shardNorm(c, st, x, st.finalGain, e.cfg.DModel)
+		// Logits: gather the full final activation, multiply by this
+		// chip's vocab-row block, then gather the vocab dimension.
+		fullFinal := agCols(st.op(c), hardware.GroupXYZ, final, e.m.Chips())
+		logitsLocal := tensor.MatMulT(fullFinal, st.embedRows)
+		logits := agCols(st.op(c), hardware.GroupXYZ, logitsLocal, e.m.Chips())
+
+		mu.Lock()
+		results[c.Rank] = logits
+		mu.Unlock()
+	})
+	return results[0]
+}
+
+// ffnBlock runs the feedforward sub-block on the E-sharded normed input,
+// returning the E-sharded output.
+func (e *Engine) ffnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat) *tensor.Mat {
+	switch e.opts.FFN {
+	case partition.FFN1DWeightStationary:
+		return e.ffn1D(c, st, cl, h)
+	case partition.FFN2DWeightStationary:
+		return e.ffn2D(c, st, cl, h)
+	}
+	panic("engine: unsupported FFN layout")
+}
+
+// ffn1D: all-gather activations to full E, compute this chip's F block
+// completely, reduce-scatter the output back to the E shard.
+// Communication per layer: one AG and one RS of the full [tokens, E]
+// activations — the 2·B·L·E volume of Section 3.2.1.
+func (e *Engine) ffn1D(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat) *tensor.Mat {
+	n := e.m.Chips()
+	hFull := agCols(st.op(c), hardware.GroupXYZ, h, n)
+	act := e.activate(cl, hFull)
+	partial := cl.wDown.mul(act) // [tokens, E] partialsum over chips
+	return rsCols(st.op(c), hardware.GroupXYZ, partial, n)
+}
+
+// ffn2D: the Figure 2(b) program. All-gather over Y·Z assembles this x
+// stripe's E columns; the first matmul leaves partial sums over X which a
+// reduce-scatter over X resolves while scattering the F dimension; the
+// activation is applied on the F/(X·YZ) shard; an all-gather over X
+// reassembles the F/YZ block for the second matmul, whose partial sums over
+// Y·Z reduce-scatter back into the E shard. Activations are never fully
+// replicated.
+func (e *Engine) ffn2D(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat) *tensor.Mat {
+	t := e.torus
+	yzGroup := hardware.GroupYZ
+	xGroup := hardware.GroupX
+	yzSize := t.Y * t.Z
+
+	hx := agCols(st.op(c), yzGroup, h, yzSize) // [tokens, E/X] in stripe order
+	upPartial := cl.wUp.mul(hx)
+	upShard := rsCols(st.op(c), xGroup, upPartial, t.X) // [tokens, F/(X·YZ)]
+
+	var actShard *tensor.Mat
+	if e.cfg.FFNKind == model.SwiGLU {
+		gatePartial := cl.wGate.mul(hx) // [tokens, F/YZ] partialsum-x
+		gateShard := rsCols(st.op(c), xGroup, gatePartial, t.X)
+		tensor.SiLU(gateShard)
+		actShard = tensor.Mul(gateShard, upShard)
+	} else {
+		tensor.GELU(upShard)
+		actShard = upShard
+	}
+
+	actFull := agCols(st.op(c), xGroup, actShard, t.X) // [tokens, F/YZ]
+	downPartial := cl.wDown.mul(actFull)               // [tokens, E/X] partialsum-yz
+	return rsCols(st.op(c), yzGroup, downPartial, yzSize)
+}
+
+// activate applies the FFN nonlinearity on full-width (1D layout) blocks.
+func (e *Engine) activate(cl *chipLayer, hFull *tensor.Mat) *tensor.Mat {
+	if e.cfg.FFNKind == model.SwiGLU {
+		gate := cl.wGate.mul(hFull)
+		up := cl.wUp.mul(hFull)
+		tensor.SiLU(gate)
+		return tensor.Mul(gate, up)
+	}
+	act := cl.wUp.mul(hFull)
+	tensor.GELU(act)
+	return act
+}
+
+// attnBlock runs the attention sub-block on the E-sharded normed input,
+// returning the E-sharded output.
+func (e *Engine) attnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, layer int, h *tensor.Mat, steps, past int) *tensor.Mat {
+	n := e.m.Chips()
+	// Projections need the full-width input (head-block sharding of W_Q
+	// contracts all of E). In the production system this all-gather is
+	// fused with the FFN input collective; here it stands alone.
+	hFull := agCols(st.op(c), hardware.GroupXYZ, h, n)
+	qLocal := cl.wq.mul(hFull) // [tokens, headsPC·dh]
+	kNew := cl.wk.mul(hFull)   // per variant: full KV heads or this chip's block
+	vNew := cl.wv.mul(hFull)
+
+	var outLocal *tensor.Mat
+	if e.opts.Attn == partition.AttnShardBatch {
+		outLocal = e.attnBatchSharded(c, st, layer, qLocal, kNew, vNew, steps, past)
+	} else {
+		// Head-sharded: the local cache holds this chip's KV heads (or
+		// the replicated multiquery head); everything is chip-local.
+		st.cache.Append(layer, kNew, vNew, steps)
+		outLocal = reference.Attend(e.cfg.HeadDim, qLocal, st.cache, layer, e.batch, steps, past)
+	}
+
+	partial := cl.wo.mul(outLocal) // [tokens, E] partialsum over chips
+	return rsCols(st.op(c), hardware.GroupXYZ, partial, n)
+}
+
+// attnBatchSharded reshards Q from head-sharded to batch-sharded with an
+// all-to-all, attends against this chip's sequence shard of the KV cache,
+// and reshards the attention output back (Figure 5(b)). K/V arrive
+// replicated from the projection (multiquery K/V are identical on every
+// chip; batch-sharded multihead stores full K/V projections), so each chip
+// just slices its own sequences' rows into its cache shard.
+func (e *Engine) attnBatchSharded(c *mesh.Chip, st *chipState, layer int, qLocal, kNew, vNew *tensor.Mat, steps, past int) *tensor.Mat {
+	n := e.m.Chips()
+	seqsPC := e.batch / n
+	rowsPC := seqsPC * steps
+
+	// Cache this chip's sequences.
+	myRows := contiguous(c.Rank*rowsPC, rowsPC)
+	st.cache.Append(layer, selectRows(kNew, myRows), selectRows(vNew, myRows), steps)
+
+	// All-to-all #1: send each destination its sequence block of my
+	// head-block queries.
+	shards := make([][]float32, n)
+	for d := 0; d < n; d++ {
+		blk := tensor.SliceRows(qLocal, d*rowsPC, (d+1)*rowsPC)
+		shards[d] = blk.Data
+	}
+	recv := collective.AllToAll(st.op(c), hardware.GroupXYZ, shards)
+	headBlocks := make([]*tensor.Mat, n)
+	for srcIdx, data := range recv {
+		headBlocks[srcIdx] = tensor.FromSlice(data, rowsPC, qLocal.Cols)
+	}
+	qMine := tensor.ConcatCols(headBlocks...) // [rowsPC, H·dh]
+
+	outMine := reference.Attend(e.cfg.HeadDim, qMine, st.cache, layer, seqsPC, steps, past)
+
+	// All-to-all #2: return each head block to its owner.
+	headW := qLocal.Cols
+	back := make([][]float32, n)
+	for d := 0; d < n; d++ {
+		back[d] = tensor.SliceCols(outMine, d*headW, (d+1)*headW).Data
+	}
+	recv2 := collective.AllToAll(st.op(c), hardware.GroupXYZ, back)
+	seqBlocks := make([]*tensor.Mat, n)
+	for srcIdx, data := range recv2 {
+		seqBlocks[srcIdx] = tensor.FromSlice(data, rowsPC, headW)
+	}
+	return tensor.ConcatRows(seqBlocks...) // [tokens, headsPC·dh]
+}

@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"esti/internal/collective"
+	"esti/internal/hardware"
+	"esti/internal/mesh"
+	"esti/internal/model"
+	"esti/internal/reference"
+	"esti/internal/tensor"
+)
+
+// This file implements the XYZ-weight-gathered layout functionally
+// (Section 3.2.3 / Figure A.2(c)): activations stay sharded over the token
+// (sequence) dimension for the entire pass — which for attention is exactly
+// the batch-sharded layout, so attention is chip-local — while every layer's
+// weights are all-gathered over all chips just before use from the same
+// ExFyz at-rest shards the 2D weight-stationary layout stores ("weights
+// start in the same ExFyz layout ... so that we can use the same weight
+// layout for weight-gathered (during prefill) and weight-stationary (during
+// decoding)").
+//
+// Per-layer communication is therefore layerWeightBytes·(n-1)/n of weight
+// traffic and zero activation traffic — the XYZ line of Figure 3 — which the
+// tests assert against the measured mesh bytes.
+
+// wgState is the per-chip state the weight-gathered path adds: the full
+// embedding table (token-sharded activations need full-width lookup and
+// logits locally).
+type wgState struct {
+	fullEmbed *tensor.Mat
+	// At-rest ExFyz shards, flattened for gathering. Indexed per layer.
+	layers []wgLayerShards
+}
+
+// wgLayerShards holds one layer's at-rest weight shards in gather-ready
+// (flattened) form plus the full gains.
+type wgLayerShards struct {
+	gate, up, down []float32 // 2D-WS-style shards (nil gate for GELU)
+	q, k, v, o     []float32 // attention shards (column/row blocks)
+	normGain       []float32 // full-width gains (replicated; tiny)
+	ffnNormGain    []float32
+}
+
+// buildWG slices the weights for the weight-gathered path.
+func (e *Engine) buildWG(w *reference.Weights, rank int) *wgState {
+	cfg := e.cfg
+	t := e.torus
+	n := t.Chips()
+	yz := t.Y * t.Z
+	yzIdx := rank / t.X
+	stripe := e.eStripe(rank)
+	fPerYZ := cfg.DFF / yz
+	fCols := contiguous(yzIdx*fPerYZ, fPerYZ)
+	headsPC := cfg.Heads / n
+	dh := cfg.HeadDim
+	hCols := contiguous(rank*headsPC*dh, headsPC*dh)
+	eBlock := cfg.DModel / n
+	eRows := contiguous(rank*eBlock, eBlock)
+
+	st := &wgState{fullEmbed: w.Embed.Clone()}
+	for l := range w.Layers {
+		lw := &w.Layers[l]
+		ls := wgLayerShards{
+			normGain:    append([]float32(nil), lw.NormGain...),
+			ffnNormGain: append([]float32(nil), lw.FFNNormGain...),
+			up:          selectCols(selectRows(lw.WUp, stripe), fCols).Data,
+			down:        selectCols(selectRows(lw.WDown, fCols), stripe).Data,
+			q:           selectCols(lw.WQ, hCols).Data,
+			k:           selectRows(lw.WK, eRows).Data,
+			v:           selectRows(lw.WV, eRows).Data,
+			o:           selectRows(lw.WO, hCols).Data,
+		}
+		if lw.WGate != nil {
+			ls.gate = selectCols(selectRows(lw.WGate, stripe), fCols).Data
+		}
+		st.layers = append(st.layers, ls)
+	}
+	return st
+}
+
+// gathered is one layer's fully assembled weights after the all-gather.
+type gathered struct {
+	gate, up, down *tensor.Mat
+	q, k, v, o     *tensor.Mat
+}
+
+// gatherLayer all-gathers one layer's shards over all chips and reassembles
+// the full matrices, accounting every weight byte as mesh traffic.
+func (e *Engine) gatherLayer(c *mesh.Chip, st *chipState, ws *wgLayerShards) gathered {
+	cfg := e.cfg
+	t := e.torus
+	n := t.Chips()
+	yz := t.Y * t.Z
+	fPerYZ := cfg.DFF / yz
+	dh := cfg.HeadDim
+	headsPC := cfg.Heads / n
+
+	var g gathered
+	// 2D-stored FFN shards: rank r holds rows eStripe(r) × cols of its yz
+	// block; reassemble by scattering each rank's chunk.
+	assemble2D := func(flat []float32, transposed bool) *tensor.Mat {
+		all := collective.AllGather(st.op(c), hardware.GroupXYZ, flat)
+		rows, cols := cfg.DModel, cfg.DFF
+		if transposed {
+			rows, cols = cfg.DFF, cfg.DModel
+		}
+		full := tensor.New(rows, cols)
+		per := len(flat)
+		for r := 0; r < n; r++ {
+			stripe := e.eStripe(r)
+			fLo := (r / t.X) * fPerYZ
+			chunk := all[r*per : (r+1)*per]
+			if !transposed {
+				// chunk is [len(stripe), fPerYZ] row-major.
+				for i, eIdx := range stripe {
+					copy(full.Row(eIdx)[fLo:fLo+fPerYZ], chunk[i*fPerYZ:(i+1)*fPerYZ])
+				}
+			} else {
+				// chunk is [fPerYZ, len(stripe)] row-major (W_down).
+				for i := 0; i < fPerYZ; i++ {
+					row := full.Row(fLo + i)
+					for j, eIdx := range stripe {
+						row[eIdx] = chunk[i*len(stripe)+j]
+					}
+				}
+			}
+		}
+		return full
+	}
+	if ws.gate != nil {
+		g.gate = assemble2D(ws.gate, false)
+	}
+	g.up = assemble2D(ws.up, false)
+	g.down = assemble2D(ws.down, true)
+
+	// Column-block shards (W_Q): rank r holds contiguous head columns.
+	gatherCols := func(flat []float32, rows, colsPC int) *tensor.Mat {
+		all := collective.AllGather(st.op(c), hardware.GroupXYZ, flat)
+		full := tensor.New(rows, colsPC*n)
+		for r := 0; r < n; r++ {
+			chunk := all[r*len(flat) : (r+1)*len(flat)]
+			for i := 0; i < rows; i++ {
+				copy(full.Row(i)[r*colsPC:(r+1)*colsPC], chunk[i*colsPC:(i+1)*colsPC])
+			}
+		}
+		return full
+	}
+	// Row-block shards (W_K, W_V, W_O): contiguous rows per rank, so the
+	// flat all-gather concatenation is already the full matrix.
+	gatherRows := func(flat []float32, cols int) *tensor.Mat {
+		all := collective.AllGather(st.op(c), hardware.GroupXYZ, flat)
+		return tensor.FromSlice(all, len(all)/cols, cols)
+	}
+	g.q = gatherCols(ws.q, cfg.DModel, headsPC*dh)
+	g.k = gatherRows(ws.k, cfg.KVHeads*dh)
+	g.v = gatherRows(ws.v, cfg.KVHeads*dh)
+	g.o = gatherRows(ws.o, cfg.DModel)
+	return g
+}
+
+// forwardWG runs the token-sharded weight-gathered pass: each chip owns
+// batch/n sequences end to end; the only cross-chip traffic is the per-layer
+// weight gather (plus nothing for activations).
+func (e *Engine) forwardWG(tokens []int, steps int) *tensor.Mat {
+	n := e.m.Chips()
+	seqsPC := e.batch / n
+	rowsPC := seqsPC * steps
+	vocab := e.cfg.Vocab
+	blocks := make([]*tensor.Mat, n)
+	e.m.Run(func(c *mesh.Chip) {
+		st := e.chips[c.Rank]
+		ws := st.wg
+		past := st.cache.Len
+
+		// Embed this chip's sequences only.
+		x := tensor.New(rowsPC, e.cfg.DModel)
+		for i := 0; i < rowsPC; i++ {
+			tok := tokens[c.Rank*rowsPC+i]
+			if tok < 0 || tok >= vocab {
+				panic("engine: token out of vocab")
+			}
+			copy(x.Row(i), ws.fullEmbed.Row(tok))
+		}
+
+		for l := range ws.layers {
+			ls := &ws.layers[l]
+			g := e.gatherLayer(c, st, ls)
+			if e.cfg.ParallelBlock {
+				h := tensor.RMSNorm(x, ls.normGain, 1e-6)
+				attnY := wgAttention(e, st, g, h, l, seqsPC, steps, past)
+				ffnY := wgFFN(e.cfg, g, h)
+				x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
+			} else {
+				h := tensor.RMSNorm(x, ls.normGain, 1e-6)
+				x = tensor.AddInPlace(x, wgAttention(e, st, g, h, l, seqsPC, steps, past))
+				h2 := tensor.RMSNorm(x, ls.ffnNormGain, 1e-6)
+				x = tensor.AddInPlace(x, wgFFN(e.cfg, g, h2))
+			}
+		}
+		st.cache.Advance(steps)
+
+		final := tensor.RMSNorm(x, st.finalGain, 1e-6)
+		blocks[c.Rank] = tensor.MatMulT(final, ws.fullEmbed)
+	})
+	// Host-side assembly of the token-sharded logits (no mesh traffic:
+	// results leave through the host, as with any inference service).
+	return tensor.ConcatRows(blocks...)
+}
+
+func wgAttention(e *Engine, st *chipState, g gathered, h *tensor.Mat, layer, seqsPC, steps, past int) *tensor.Mat {
+	q := tensor.MatMul(h, g.q)
+	k := tensor.MatMul(h, g.k)
+	v := tensor.MatMul(h, g.v)
+	st.cache.Append(layer, k, v, steps)
+	out := reference.Attend(e.cfg.HeadDim, q, st.cache, layer, seqsPC, steps, past)
+	return tensor.MatMul(out, g.o)
+}
+
+func wgFFN(cfg model.Config, g gathered, h *tensor.Mat) *tensor.Mat {
+	if cfg.FFNKind == model.SwiGLU {
+		gate := tensor.MatMul(h, g.gate)
+		up := tensor.MatMul(h, g.up)
+		tensor.SiLU(gate)
+		return tensor.MatMul(tensor.Mul(gate, up), g.down)
+	}
+	act := tensor.MatMul(h, g.up)
+	tensor.GELU(act)
+	return tensor.MatMul(act, g.down)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Figure B.1: batch-1 prefill frontier over sequence lengths 32..1024.
+func TestFigB1Shape(t *testing.T) {
+	curves := FigB1(knobs())
+	if len(curves) != 6 {
+		t.Fatalf("got %d curves, want 6", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Points) == 0 {
+			t.Errorf("%s: empty frontier", c.Name)
+			continue
+		}
+		// Frontier validity.
+		for i := 1; i < len(c.Points); i++ {
+			if c.Points[i].Latency <= c.Points[i-1].Latency || c.Points[i].Cost >= c.Points[i-1].Cost {
+				t.Errorf("%s: frontier not monotone at %d", c.Name, i)
+			}
+		}
+		// Labels carry the sequence length (paper annotates C=chips, S=seq).
+		for _, p := range c.Points {
+			if !strings.Contains(p.Label, "S=") || !strings.Contains(p.Label, "C=") {
+				t.Errorf("%s: label %q missing C=/S= annotation", c.Name, p.Label)
+			}
+		}
+	}
+	// The paper's fastest B.1 points are tens of milliseconds for the small
+	// models: 8B int8 minimum prefill should land under 50ms.
+	for _, c := range curves {
+		if c.Name == "PaLM 8B-int8" {
+			if min := c.Points[0].Latency; min > 0.05 {
+				t.Errorf("8B int8 min prefill = %.3fs, want < 50ms", min)
+			}
+		}
+	}
+}
+
+// Shorter sequences at fixed chips must never be slower (the frontier's
+// latency axis is driven by sequence length at batch 1).
+func TestFigB1LatencyGrowsWithSequence(t *testing.T) {
+	curves := FigB1(knobs())
+	for _, c := range curves {
+		// Within the frontier, cost decreases as latency increases —
+		// meaning longer sequences amortize better. Verify the endpoints:
+		// the cheapest point must have more tokens than the fastest.
+		first := c.Points[0]
+		last := c.Points[len(c.Points)-1]
+		if !strings.Contains(first.Label, "S=") {
+			continue
+		}
+		if seqOf(t, first.Label) > seqOf(t, last.Label) {
+			t.Errorf("%s: fastest point S=%d exceeds cheapest point S=%d",
+				c.Name, seqOf(t, first.Label), seqOf(t, last.Label))
+		}
+	}
+}
+
+func seqOf(t *testing.T, label string) int {
+	t.Helper()
+	idx := strings.Index(label, "S=")
+	if idx < 0 {
+		t.Fatalf("label %q has no S=", label)
+	}
+	n := 0
+	for _, r := range label[idx+2:] {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}

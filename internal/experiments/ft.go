@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"esti/internal/ftdata"
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+	"esti/internal/tableio"
+)
+
+// FTRow is one batch size of a Table D.2-D.4 comparison: the paper's own
+// PaLM and MT-NLG implementations on 64 TPU v4 chips with 2D partitioning,
+// against the published FasterTransformer MT-NLG numbers.
+type FTRow struct {
+	Batch int
+	// PaLM 540B on 64 chips.
+	PalmPrefill  perf.Result
+	PalmGenerate perf.Result
+	PalmTotalMS  float64
+	PalmTotalMFU float64
+	// MT-NLG 530B on 64 chips (our implementation of their architecture).
+	MTNLGTotalMS  float64
+	MTNLGTotalMFU float64
+	// Published FasterTransformer results for this batch (may be OOM).
+	FT map[ftdata.Config]ftdata.Point
+}
+
+// FTBenchmark regenerates one of Tables D.2-D.4 (and, for the 60/20 shape,
+// Figure 9): our-side numbers from the analytical model at 64 chips with 2D
+// weight-stationary partitioning, FasterTransformer numbers from the
+// published tables. The paper does not report our-side batches below 4
+// (batch-sharded multiquery attention needs a torus axis of batch examples).
+func FTBenchmark(b ftdata.Benchmark, k perf.Knobs) []FTRow {
+	sys := hardware.TPUv4Slice(4, 4, 4)
+	palm := model.PaLM540BPadded()
+	mtnlg := model.MTNLG530B()
+
+	var rows []FTRow
+	for _, batch := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		row := FTRow{Batch: batch, FT: map[ftdata.Config]ftdata.Point{}}
+		for _, cfg := range ftdata.Configs {
+			for _, p := range b.Results[cfg] {
+				if p.Batch == batch {
+					row.FT[cfg] = p
+				}
+			}
+		}
+		if batch >= 4 {
+			row.PalmPrefill = perf.Prefill(perf.Request{
+				Model: palm, System: sys, Weights: model.BF16,
+				FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+				Batch: batch, Context: b.InputLen,
+			}, k)
+			row.PalmGenerate = perf.Decode(perf.Request{
+				Model: palm, System: sys, Weights: model.BF16,
+				FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+				Batch: batch, Context: b.InputLen, Gen: b.OutputLen,
+			}, k)
+			total := row.PalmPrefill.Time + row.PalmGenerate.Time
+			row.PalmTotalMS = total * 1000
+			row.PalmTotalMFU = totalMFU(palm, sys, batch, b, total)
+
+			mtTotal := ourMTNLGTotal(mtnlg, sys, batch, b, k)
+			row.MTNLGTotalMS = mtTotal * 1000
+			row.MTNLGTotalMFU = totalMFU(mtnlg, sys, batch, b, mtTotal)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func ourMTNLGTotal(cfg model.Config, sys hardware.System, batch int, b ftdata.Benchmark, k perf.Knobs) float64 {
+	pre := perf.Prefill(perf.Request{
+		Model: cfg, System: sys, Weights: model.BF16,
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardHeads,
+		Batch: batch, Context: b.InputLen,
+	}, k)
+	dec := perf.Decode(perf.Request{
+		Model: cfg, System: sys, Weights: model.BF16,
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardHeads,
+		Batch: batch, Context: b.InputLen, Gen: b.OutputLen,
+	}, k)
+	return pre.Time + dec.Time
+}
+
+// totalMFU computes the whole-request MFU the D tables report: model FLOPs
+// over all processed plus generated tokens, divided by peak over the total
+// time.
+func totalMFU(cfg model.Config, sys hardware.System, batch int, b ftdata.Benchmark, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	tokens := float64(batch) * float64(b.InputLen+b.OutputLen)
+	ideal := cfg.MatmulFLOPsPerToken() * tokens / sys.PeakSystemFLOPS()
+	return ideal / total
+}
+
+// FTTable renders a Table D.2-D.4 comparison.
+func FTTable(b ftdata.Benchmark, k perf.Knobs) tableio.Table {
+	t := tableio.Table{
+		Title: fmt.Sprintf("Table D (%s): FasterTransformer MT-NLG vs ours on 64 TPU v4", b.Name),
+		Header: []string{"batch",
+			"FT TP16 ms", "FT TP16 MFU", "FT TP32 ms", "FT TP32 MFU", "FT PP3/TP8 ms", "FT PP3/TP8 MFU",
+			"PaLM prefill ms", "MFU", "PaLM gen ms", "MFU", "PaLM total ms", "MFU",
+			"MT-NLG total ms", "MFU"},
+	}
+	fmtFT := func(p ftdata.Point, ok bool) (string, string) {
+		if !ok {
+			return "-", "-"
+		}
+		if p.OOM {
+			return "OOM", "-"
+		}
+		return fmt.Sprintf("%.0f", p.TimeMS), tableio.Pct(p.MFU)
+	}
+	for _, r := range FTBenchmark(b, k) {
+		tp16ms, tp16m := fmtFT(r.FT[ftdata.TP16], hasFT(r, ftdata.TP16))
+		tp32ms, tp32m := fmtFT(r.FT[ftdata.TP32], hasFT(r, ftdata.TP32))
+		ppms, ppm := fmtFT(r.FT[ftdata.PP3TP8], hasFT(r, ftdata.PP3TP8))
+		if r.Batch < 4 {
+			t.AddRow(r.Batch, tp16ms, tp16m, tp32ms, tp32m, ppms, ppm,
+				"-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(r.Batch, tp16ms, tp16m, tp32ms, tp32m, ppms, ppm,
+			fmt.Sprintf("%.0f", r.PalmPrefill.Time*1000), tableio.Pct(r.PalmPrefill.MFU),
+			fmt.Sprintf("%.0f", r.PalmGenerate.Time*1000), tableio.Pct(r.PalmGenerate.MFU),
+			fmt.Sprintf("%.0f", r.PalmTotalMS), tableio.Pct(r.PalmTotalMFU),
+			fmt.Sprintf("%.0f", r.MTNLGTotalMS), tableio.Pct(r.MTNLGTotalMFU))
+	}
+	return t
+}
+
+func hasFT(r FTRow, c ftdata.Config) bool {
+	_, ok := r.FT[c]
+	return ok
+}
+
+// Fig9Point is one point of Figure 9: total-request latency vs MFU.
+type Fig9Point struct {
+	Series  string
+	Batch   int
+	TotalMS float64
+	MFU     float64
+}
+
+// Fig9 regenerates Figure 9 from the 60-input/20-output benchmark: MFU vs
+// total latency for our PaLM 540B and MT-NLG 530B implementations against
+// the three FasterTransformer configurations.
+func Fig9(k perf.Knobs) []Fig9Point {
+	var pts []Fig9Point
+	bench := ftdata.Bench60In20Out()
+	for _, r := range FTBenchmark(bench, k) {
+		if r.Batch >= 4 && r.PalmPrefill.Feasible {
+			pts = append(pts, Fig9Point{"Ours (PaLM 540B, 64 chips)", r.Batch, r.PalmTotalMS, r.PalmTotalMFU})
+			pts = append(pts, Fig9Point{"Ours (Megatron 530B, 64 chips)", r.Batch, r.MTNLGTotalMS, r.MTNLGTotalMFU})
+		}
+		for _, cfg := range ftdata.Configs {
+			if p, ok := r.FT[cfg]; ok && !p.OOM {
+				pts = append(pts, Fig9Point{"FasterTransformer " + string(cfg), r.Batch, p.TimeMS, p.MFU})
+			}
+		}
+	}
+	return pts
+}
+
+// Fig9Table renders Figure 9 as a point listing.
+func Fig9Table(k perf.Knobs) tableio.Table {
+	t := tableio.Table{
+		Title:  "Figure 9: MFU vs total latency, 60-input/20-output inference",
+		Header: []string{"series", "batch", "total (ms)", "MFU"},
+	}
+	for _, p := range Fig9(k) {
+		t.AddRow(p.Series, p.Batch, fmt.Sprintf("%.0f", p.TotalMS), tableio.Pct1(p.MFU))
+	}
+	return t
+}

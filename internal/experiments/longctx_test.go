@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// Section 4.2's scaling claim: all four operating points fit (Table 1's max
+// contexts are 10,700 at batch 512 and 43,000 at batch 128), and the
+// attention share of runtime at the long-context points lands in the
+// paper's 8-31% band.
+func TestLongContextClaim(t *testing.T) {
+	rows := AblationLongContext(knobs())
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byKey := map[[2]int]LongCtxRow{}
+	for _, r := range rows {
+		byKey[[2]int{r.Batch, r.Context}] = r
+		if !r.Feasible {
+			t.Errorf("b=%d ctx=%d should fit with optimized multiquery", r.Batch, r.Context)
+		}
+	}
+	for _, key := range [][2]int{{512, 8192}, {128, 32768}} {
+		r := byKey[key]
+		if r.AttnFraction < 0.05 || r.AttnFraction > 0.40 {
+			t.Errorf("b=%d ctx=%d: attention share %.1f%%, paper band 8-31%%",
+				key[0], key[1], r.AttnFraction*100)
+		}
+	}
+	// Attention share grows with context at fixed batch.
+	if byKey[[2]int{512, 8192}].AttnFraction <= byKey[[2]int{512, 2048}].AttnFraction {
+		t.Error("attention share should grow with context")
+	}
+}
+
+func TestLongContextTableRenders(t *testing.T) {
+	if s := AblationLongContextTable(knobs()).String(); len(s) < 100 {
+		t.Errorf("table too short:\n%s", s)
+	}
+}

@@ -1,0 +1,90 @@
+// Package kvcache stores per-layer attention key/value tensors for
+// autoregressive decoding. The cache is the central memory object of the
+// paper's attention analysis: its per-chip footprint under head- versus
+// batch-sharding is what decides maximum context length (Table 1) and
+// decode memory time (Figure 8).
+package kvcache
+
+import (
+	"fmt"
+
+	"esti/internal/tensor"
+)
+
+// Cache holds K and V for every layer over a fixed capacity of positions.
+// Rows are (sequence, position)-major: row = seq*MaxLen + pos. The batch
+// dimension here is whatever slice of the logical batch the owner holds —
+// the whole batch on the reference model, a shard on a batch-sharded chip.
+type Cache struct {
+	Layers  int
+	Seqs    int // sequences held by this cache (logical batch or a shard)
+	MaxLen  int // capacity in positions per sequence
+	KVWidth int // KV heads × head dim
+	Len     int // positions currently filled (uniform across sequences)
+
+	K, V []*tensor.Mat // per layer: [Seqs*MaxLen, KVWidth]
+}
+
+// New allocates an empty cache.
+func New(layers, seqs, maxLen, kvWidth int) *Cache {
+	c := &Cache{Layers: layers, Seqs: seqs, MaxLen: maxLen, KVWidth: kvWidth}
+	c.K = make([]*tensor.Mat, layers)
+	c.V = make([]*tensor.Mat, layers)
+	for l := 0; l < layers; l++ {
+		c.K[l] = tensor.New(seqs*maxLen, kvWidth)
+		c.V[l] = tensor.New(seqs*maxLen, kvWidth)
+	}
+	return c
+}
+
+// Append writes `steps` new positions for every sequence into layer l.
+// k and v are [Seqs*steps, KVWidth], sequence-major. The caller advances the
+// shared length once per layer sweep via Advance.
+func (c *Cache) Append(l int, k, v *tensor.Mat, steps int) {
+	if k.Rows != c.Seqs*steps || k.Cols != c.KVWidth {
+		panic(fmt.Sprintf("kvcache: append shape %dx%d, want %dx%d",
+			k.Rows, k.Cols, c.Seqs*steps, c.KVWidth))
+	}
+	if c.Len+steps > c.MaxLen {
+		panic(fmt.Sprintf("kvcache: overflow: %d+%d > capacity %d", c.Len, steps, c.MaxLen))
+	}
+	for s := 0; s < c.Seqs; s++ {
+		for t := 0; t < steps; t++ {
+			dst := s*c.MaxLen + c.Len + t
+			src := s*steps + t
+			copy(c.K[l].Row(dst), k.Row(src))
+			copy(c.V[l].Row(dst), v.Row(src))
+		}
+	}
+}
+
+// Advance commits `steps` appended positions after all layers have written.
+func (c *Cache) Advance(steps int) {
+	if c.Len+steps > c.MaxLen {
+		panic("kvcache: advance past capacity")
+	}
+	c.Len += steps
+}
+
+// Keys returns the filled K rows of sequence s in layer l: [Len, KVWidth].
+func (c *Cache) Keys(l, s int) *tensor.Mat {
+	return tensor.SliceRows(c.K[l], s*c.MaxLen, s*c.MaxLen+c.Len)
+}
+
+// Values returns the filled V rows of sequence s in layer l.
+func (c *Cache) Values(l, s int) *tensor.Mat {
+	return tensor.SliceRows(c.V[l], s*c.MaxLen, s*c.MaxLen+c.Len)
+}
+
+// Bytes is the allocated footprint (float32 storage).
+func (c *Cache) Bytes() int {
+	return 2 * c.Layers * c.Seqs * c.MaxLen * c.KVWidth * 4
+}
+
+// UsedBytes is the footprint of filled positions only.
+func (c *Cache) UsedBytes() int {
+	return 2 * c.Layers * c.Seqs * c.Len * c.KVWidth * 4
+}
+
+// Reset empties the cache without reallocating.
+func (c *Cache) Reset() { c.Len = 0 }

@@ -1,0 +1,91 @@
+package kvcache
+
+import (
+	"testing"
+
+	"esti/internal/tensor"
+)
+
+func TestAppendAndRead(t *testing.T) {
+	c := New(2, 3, 8, 4)
+	k := tensor.New(3*2, 4) // 3 seqs × 2 steps
+	v := tensor.New(3*2, 4)
+	for i := range k.Data {
+		k.Data[i] = float32(i)
+		v.Data[i] = float32(-i)
+	}
+	c.Append(0, k, v, 2)
+	c.Append(1, k, v, 2)
+	c.Advance(2)
+	if c.Len != 2 {
+		t.Fatalf("len %d", c.Len)
+	}
+	keys := c.Keys(0, 1) // sequence 1
+	if keys.Rows != 2 || keys.Cols != 4 {
+		t.Fatalf("keys shape %dx%d", keys.Rows, keys.Cols)
+	}
+	// Sequence 1's first appended row was k.Row(1*2+0) = row 2.
+	if keys.At(0, 0) != k.At(2, 0) {
+		t.Errorf("keys[0][0] = %g, want %g", keys.At(0, 0), k.At(2, 0))
+	}
+	vals := c.Values(0, 1)
+	if vals.At(1, 3) != v.At(3, 3) {
+		t.Errorf("vals[1][3] = %g, want %g", vals.At(1, 3), v.At(3, 3))
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	c := New(4, 2, 16, 8)
+	want := 2 * 4 * 2 * 16 * 8 * 4
+	if c.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", c.Bytes(), want)
+	}
+	if c.UsedBytes() != 0 {
+		t.Error("empty cache should use 0 bytes")
+	}
+	c.Advance(3)
+	if got, want := c.UsedBytes(), 2*4*2*3*8*4; got != want {
+		t.Errorf("UsedBytes = %d, want %d", got, want)
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	c := New(1, 1, 2, 4)
+	c.Advance(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected overflow panic")
+		}
+	}()
+	c.Advance(1)
+}
+
+func TestAppendShapePanics(t *testing.T) {
+	c := New(1, 2, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected shape panic")
+		}
+	}()
+	c.Append(0, tensor.New(3, 4), tensor.New(3, 4), 1) // want 2 rows
+}
+
+func TestAppendBeyondCapacityPanics(t *testing.T) {
+	c := New(1, 1, 2, 4)
+	c.Advance(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected capacity panic")
+		}
+	}()
+	c.Append(0, tensor.New(1, 4), tensor.New(1, 4), 1)
+}
+
+func TestReset(t *testing.T) {
+	c := New(1, 1, 4, 4)
+	c.Advance(3)
+	c.Reset()
+	if c.Len != 0 {
+		t.Error("reset did not clear length")
+	}
+}

@@ -1,0 +1,267 @@
+// Package mesh simulates a slice of accelerator chips on a 3D torus: one
+// goroutine per chip, point-to-point float32 messages between chips, and
+// per-chip traffic accounting. The collective algorithms in package
+// collective run on top of it, and the sharded engine in package engine runs
+// an SPMD program on every chip.
+//
+// The fabric is deliberately faithful to the paper's cost model: all traffic
+// is explicit messages whose byte counts the tests compare against the
+// closed-form volumes of package commcost.
+package mesh
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"esti/internal/hardware"
+)
+
+// Coord is a chip position on the torus.
+type Coord struct {
+	X, Y, Z int
+}
+
+// Message is a tagged float32 payload between two chips. Tags disambiguate
+// interleaved collectives when a fast sender runs ahead of its receiver.
+type Message struct {
+	Src  int
+	Tag  uint64
+	Data []float32
+}
+
+// Mesh is the simulated slice.
+type Mesh struct {
+	Torus hardware.Torus
+	chips []*Chip
+
+	bytesSent  atomic.Int64 // total payload bytes across all chips
+	msgsSent   atomic.Int64
+	maxPerChip int // inbox soft cap (debugging aid; 0 = unlimited)
+}
+
+// New builds a mesh for a torus shape.
+func New(t hardware.Torus) *Mesh {
+	if !t.Valid() {
+		panic(fmt.Sprintf("mesh: invalid torus %v", t))
+	}
+	m := &Mesh{Torus: t}
+	n := t.Chips()
+	m.chips = make([]*Chip, n)
+	for r := 0; r < n; r++ {
+		m.chips[r] = &Chip{
+			mesh:  m,
+			Rank:  r,
+			Coord: m.coordOf(r),
+		}
+		m.chips[r].inbox.cond = sync.NewCond(&m.chips[r].inbox.mu)
+	}
+	return m
+}
+
+// Chips returns the chip count.
+func (m *Mesh) Chips() int { return m.Torus.Chips() }
+
+// Chip returns chip by rank.
+func (m *Mesh) Chip(rank int) *Chip { return m.chips[rank] }
+
+// rankOf linearizes a coordinate x-major (x fastest).
+func (m *Mesh) rankOf(c Coord) int {
+	t := m.Torus
+	return c.X + t.X*(c.Y+t.Y*c.Z)
+}
+
+func (m *Mesh) coordOf(rank int) Coord {
+	t := m.Torus
+	return Coord{
+		X: rank % t.X,
+		Y: (rank / t.X) % t.Y,
+		Z: rank / (t.X * t.Y),
+	}
+}
+
+// BytesSent is the total payload volume sent by all chips (4 bytes per
+// float32 element).
+func (m *Mesh) BytesSent() int64 { return m.bytesSent.Load() }
+
+// MessagesSent is the total message count.
+func (m *Mesh) MessagesSent() int64 { return m.msgsSent.Load() }
+
+// ResetCounters zeroes the global and per-chip traffic counters.
+func (m *Mesh) ResetCounters() {
+	m.bytesSent.Store(0)
+	m.msgsSent.Store(0)
+	for _, c := range m.chips {
+		c.bytesSent.Store(0)
+	}
+}
+
+// Run executes fn on every chip concurrently (SPMD) and waits for all chips
+// to finish. A panic on any chip is re-raised on the caller after all other
+// chips finish or deadlock is avoided by the panic's message loss; programs
+// are expected to be deterministic and matched.
+func (m *Mesh) Run(fn func(c *Chip)) {
+	var wg sync.WaitGroup
+	panics := make([]any, len(m.chips))
+	for i, c := range m.chips {
+		wg.Add(1)
+		go func(i int, c *Chip) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+					c.inbox.poison(r)
+					// Poison every other inbox so matched receives
+					// unblock instead of deadlocking.
+					for _, o := range m.chips {
+						o.inbox.poison(r)
+					}
+				}
+			}()
+			fn(c)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, c := range m.chips {
+		c.inbox.clearPoison()
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Chip is one simulated accelerator.
+type Chip struct {
+	mesh  *Mesh
+	Rank  int
+	Coord Coord
+
+	inbox     inbox
+	bytesSent atomic.Int64
+}
+
+// Mesh returns the owning mesh.
+func (c *Chip) Mesh() *Mesh { return c.mesh }
+
+// BytesSent is this chip's total sent payload bytes.
+func (c *Chip) BytesSent() int64 { return c.bytesSent.Load() }
+
+// Send delivers data to dst with a tag. The payload is copied, so senders
+// may reuse their buffer.
+func (c *Chip) Send(dst int, tag uint64, data []float32) {
+	if dst == c.Rank {
+		panic("mesh: self-send")
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	bytes := int64(4 * len(data))
+	c.bytesSent.Add(bytes)
+	c.mesh.bytesSent.Add(bytes)
+	c.mesh.msgsSent.Add(1)
+	c.mesh.chips[dst].inbox.put(Message{Src: c.Rank, Tag: tag, Data: cp})
+}
+
+// Recv blocks until a message with the given source and tag arrives.
+func (c *Chip) Recv(src int, tag uint64) []float32 {
+	return c.inbox.take(src, tag)
+}
+
+// GroupRank returns this chip's index within the axis group containing it
+// (axes in group order, first axis fastest), and the group size.
+func (c *Chip) GroupRank(g hardware.AxisGroup) (rank, size int) {
+	size = g.Size(c.mesh.Torus)
+	stride := 1
+	for _, a := range g {
+		rank += c.axis(a) * stride
+		stride *= c.mesh.Torus.Size(a)
+	}
+	return rank, size
+}
+
+// GroupPeer returns the rank (mesh-wide) of the group member with the given
+// group index, holding all non-group coordinates at this chip's values.
+func (c *Chip) GroupPeer(g hardware.AxisGroup, idx int) int {
+	co := c.Coord
+	for _, a := range g {
+		size := c.mesh.Torus.Size(a)
+		co = setAxis(co, a, idx%size)
+		idx /= size
+	}
+	return c.mesh.rankOf(co)
+}
+
+func (c *Chip) axis(a hardware.Axis) int {
+	switch a {
+	case hardware.AxisX:
+		return c.Coord.X
+	case hardware.AxisY:
+		return c.Coord.Y
+	case hardware.AxisZ:
+		return c.Coord.Z
+	}
+	panic("mesh: bad axis")
+}
+
+func setAxis(c Coord, a hardware.Axis, v int) Coord {
+	switch a {
+	case hardware.AxisX:
+		c.X = v
+	case hardware.AxisY:
+		c.Y = v
+	case hardware.AxisZ:
+		c.Z = v
+	default:
+		panic("mesh: bad axis")
+	}
+	return c
+}
+
+// inbox is a condition-variable mailbox with (src, tag) matching.
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Message
+	poisonV any
+}
+
+func (b *inbox) put(m Message) {
+	b.mu.Lock()
+	b.pending = append(b.pending, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *inbox) take(src int, tag uint64) []float32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.poisonV != nil {
+			panic(b.poisonV)
+		}
+		for i, m := range b.pending {
+			if m.Src == src && m.Tag == tag {
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				return m.Data
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *inbox) poison(v any) {
+	b.mu.Lock()
+	if b.poisonV == nil {
+		b.poisonV = v
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *inbox) clearPoison() {
+	b.mu.Lock()
+	b.poisonV = nil
+	b.pending = nil
+	b.mu.Unlock()
+}

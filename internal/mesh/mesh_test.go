@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"esti/internal/hardware"
+)
+
+func TestRankCoordRoundTrip(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 3, Z: 4})
+	for r := 0; r < m.Chips(); r++ {
+		c := m.coordOf(r)
+		if got := m.rankOf(c); got != r {
+			t.Fatalf("rank %d → %v → %d", r, c, got)
+		}
+		if c.X >= 2 || c.Y >= 3 || c.Z >= 4 || c.X < 0 || c.Y < 0 || c.Z < 0 {
+			t.Fatalf("coord %v out of bounds", c)
+		}
+	}
+}
+
+func TestRunExecutesAllChips(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 2, Z: 2})
+	var count atomic.Int32
+	m.Run(func(c *Chip) { count.Add(1) })
+	if count.Load() != 8 {
+		t.Errorf("ran on %d chips, want 8", count.Load())
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	m.Run(func(c *Chip) {
+		peer := 1 - c.Rank
+		c.Send(peer, 7, []float32{float32(c.Rank), 42})
+		got := c.Recv(peer, 7)
+		if got[0] != float32(peer) || got[1] != 42 {
+			t.Errorf("chip %d received %v", c.Rank, got)
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	m.Run(func(c *Chip) {
+		buf := []float32{float32(c.Rank)}
+		c.Send(1-c.Rank, 1, buf)
+		buf[0] = -1 // mutate after send
+		got := c.Recv(1-c.Rank, 1)
+		if got[0] != float32(1-c.Rank) {
+			t.Errorf("chip %d: payload aliased sender buffer: %v", c.Rank, got)
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	m.Run(func(c *Chip) {
+		peer := 1 - c.Rank
+		// Send two tags; receive in reverse order.
+		c.Send(peer, 100, []float32{1})
+		c.Send(peer, 200, []float32{2})
+		if got := c.Recv(peer, 200); got[0] != 2 {
+			t.Errorf("tag 200 delivered %v", got)
+		}
+		if got := c.Recv(peer, 100); got[0] != 1 {
+			t.Errorf("tag 100 delivered %v", got)
+		}
+	})
+}
+
+func TestByteAccounting(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	m.Run(func(c *Chip) {
+		c.Send(1-c.Rank, 1, make([]float32, 10))
+		c.Recv(1-c.Rank, 1)
+	})
+	if got := m.BytesSent(); got != 2*10*4 {
+		t.Errorf("BytesSent = %d, want 80", got)
+	}
+	if got := m.MessagesSent(); got != 2 {
+		t.Errorf("MessagesSent = %d, want 2", got)
+	}
+	if got := m.Chip(0).BytesSent(); got != 40 {
+		t.Errorf("chip 0 bytes = %d, want 40", got)
+	}
+	m.ResetCounters()
+	if m.BytesSent() != 0 || m.Chip(0).BytesSent() != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+func TestGroupRankAndPeer(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 2, Z: 2})
+	m.Run(func(c *Chip) {
+		rank, size := c.GroupRank(hardware.GroupYZ)
+		if size != 4 {
+			t.Errorf("yz group size %d", size)
+		}
+		want := c.Coord.Y + 2*c.Coord.Z
+		if rank != want {
+			t.Errorf("chip %v: yz rank %d, want %d", c.Coord, rank, want)
+		}
+		// Peer lookup inverts group rank, holding x fixed.
+		for i := 0; i < size; i++ {
+			peer := m.coordOf(c.GroupPeer(hardware.GroupYZ, i))
+			if peer.X != c.Coord.X {
+				t.Errorf("yz peer changed x: %v from %v", peer, c.Coord)
+			}
+			if got := peer.Y + 2*peer.Z; got != i {
+				t.Errorf("peer %d has group rank %d", i, got)
+			}
+		}
+	})
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	m := New(hardware.Torus{X: 1, Y: 1, Z: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("self-send should panic")
+		}
+	}()
+	m.Run(func(c *Chip) {
+		c.Send(0, 1, []float32{1})
+	})
+}
+
+// A panic on one chip must not deadlock chips blocked in Recv: the poison
+// propagates and Run re-raises.
+func TestPanicPropagatesWithoutDeadlock(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic to propagate from Run")
+		}
+	}()
+	m.Run(func(c *Chip) {
+		if c.Rank == 0 {
+			panic("chip 0 failed")
+		}
+		c.Recv(0, 9) // would block forever without poisoning
+	})
+}
+
+func TestNewPanicsOnInvalidTorus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(hardware.Torus{X: 0, Y: 1, Z: 1})
+}

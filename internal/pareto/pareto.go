@@ -1,0 +1,69 @@
+// Package pareto extracts Pareto frontiers from 2D point sets, as used to
+// draw the paper's cost-vs-latency (Figure 1) and MFU-vs-latency
+// (Figure C.1) curves: each plotted line is the set of configurations not
+// dominated by any other configuration of the same model/dtype.
+package pareto
+
+import "sort"
+
+// Point is a candidate configuration projected onto two objectives. X is
+// always minimized; Y is minimized or maximized depending on the frontier
+// call. Label carries the configuration identity through the selection.
+type Point struct {
+	X, Y  float64
+	Label string
+}
+
+// MinMin returns the subset of points not dominated under (minimize X,
+// minimize Y), sorted by ascending X. A point p dominates q if p.X <= q.X
+// and p.Y <= q.Y with at least one strict.
+func MinMin(points []Point) []Point {
+	return frontier(points, false)
+}
+
+// MinMax returns the subset not dominated under (minimize X, maximize Y),
+// sorted by ascending X — latency on X, MFU on Y.
+func MinMax(points []Point) []Point {
+	return frontier(points, true)
+}
+
+func frontier(points []Point, maximizeY bool) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	// Sort by X ascending; for equal X keep the better Y first so the
+	// sweep retains it.
+	sort.SliceStable(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		if maximizeY {
+			return ps[i].Y > ps[j].Y
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	var out []Point
+	for _, p := range ps {
+		better := func(y float64) bool {
+			if maximizeY {
+				return p.Y > y
+			}
+			return p.Y < y
+		}
+		if len(out) == 0 || better(out[len(out)-1].Y) {
+			// Drop duplicates of the same (X, Y).
+			if len(out) > 0 && out[len(out)-1].X == p.X && out[len(out)-1].Y == p.Y {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Dominates reports whether a dominates b under (min X, min Y).
+func Dominates(a, b Point) bool {
+	return a.X <= b.X && a.Y <= b.Y && (a.X < b.X || a.Y < b.Y)
+}

@@ -1,0 +1,147 @@
+package pareto
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMinBasic(t *testing.T) {
+	pts := []Point{
+		{X: 1, Y: 10, Label: "a"},
+		{X: 2, Y: 5, Label: "b"},
+		{X: 3, Y: 7, Label: "c"}, // dominated by b
+		{X: 4, Y: 2, Label: "d"},
+		{X: 5, Y: 2, Label: "e"}, // dominated by d
+	}
+	f := MinMin(pts)
+	want := []string{"a", "b", "d"}
+	if len(f) != len(want) {
+		t.Fatalf("frontier size %d, want %d (%v)", len(f), len(want), f)
+	}
+	for i, w := range want {
+		if f[i].Label != w {
+			t.Errorf("frontier[%d] = %s, want %s", i, f[i].Label, w)
+		}
+	}
+}
+
+func TestMinMaxBasic(t *testing.T) {
+	pts := []Point{
+		{X: 1, Y: 0.1, Label: "fast-lowmfu"},
+		{X: 2, Y: 0.4, Label: "mid"},
+		{X: 3, Y: 0.3, Label: "dominated"},
+		{X: 4, Y: 0.8, Label: "slow-highmfu"},
+	}
+	f := MinMax(pts)
+	want := []string{"fast-lowmfu", "mid", "slow-highmfu"}
+	if len(f) != len(want) {
+		t.Fatalf("frontier size %d, want %d", len(f), len(want))
+	}
+	for i, w := range want {
+		if f[i].Label != w {
+			t.Errorf("frontier[%d] = %s, want %s", i, f[i].Label, w)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if MinMin(nil) != nil {
+		t.Error("empty frontier should be nil")
+	}
+	f := MinMin([]Point{{X: 1, Y: 1, Label: "only"}})
+	if len(f) != 1 || f[0].Label != "only" {
+		t.Error("single point should be its own frontier")
+	}
+}
+
+func TestEqualXKeepsBest(t *testing.T) {
+	f := MinMin([]Point{{X: 1, Y: 5, Label: "worse"}, {X: 1, Y: 2, Label: "better"}})
+	if len(f) != 1 || f[0].Label != "better" {
+		t.Errorf("equal-X frontier = %v, want just 'better'", f)
+	}
+}
+
+func TestDuplicatePointsCollapse(t *testing.T) {
+	f := MinMin([]Point{{X: 1, Y: 1, Label: "a"}, {X: 1, Y: 1, Label: "b"}})
+	if len(f) != 1 {
+		t.Errorf("duplicate points should collapse, got %d", len(f))
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates(Point{X: 1, Y: 1}, Point{X: 2, Y: 2}) {
+		t.Error("strict dominance failed")
+	}
+	if !Dominates(Point{X: 1, Y: 2}, Point{X: 1, Y: 3}) {
+		t.Error("equal-X dominance failed")
+	}
+	if Dominates(Point{X: 1, Y: 1}, Point{X: 1, Y: 1}) {
+		t.Error("a point must not dominate itself")
+	}
+	if Dominates(Point{X: 1, Y: 3}, Point{X: 2, Y: 2}) {
+		t.Error("incomparable points must not dominate")
+	}
+}
+
+// Properties: frontier points are mutually non-dominated; every input point
+// is dominated by (or equal to) some frontier point; frontier is sorted by X
+// with strictly improving Y.
+func TestFrontierProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: float64(rng.Intn(20)), Y: float64(rng.Intn(20))}
+		}
+		fr := MinMin(pts)
+		if len(fr) == 0 {
+			return false
+		}
+		if !sort.SliceIsSorted(fr, func(i, j int) bool { return fr[i].X < fr[j].X }) {
+			return false
+		}
+		for i := 1; i < len(fr); i++ {
+			if fr[i].Y >= fr[i-1].Y {
+				return false // Y must strictly improve along the frontier
+			}
+		}
+		for i := range fr {
+			for j := range fr {
+				if i != j && Dominates(fr[i], fr[j]) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			covered := false
+			for _, q := range fr {
+				if q == p || Dominates(q, p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	pts := []Point{{X: 3, Y: 1}, {X: 1, Y: 3}, {X: 2, Y: 2}}
+	orig := make([]Point, len(pts))
+	copy(orig, pts)
+	MinMin(pts)
+	for i := range pts {
+		if pts[i] != orig[i] {
+			t.Fatal("MinMin mutated its input")
+		}
+	}
+}

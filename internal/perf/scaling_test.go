@@ -1,0 +1,212 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+)
+
+// Section 3.2.2: 2D weight-stationary communication scales as 1/sqrt(n).
+// With the hop-latency floor disabled, quadrupling the chip count must halve
+// the exposed communication time (within the (K-1)/K wrinkles).
+func Test2DCommScalesInverseSqrt(t *testing.T) {
+	k := DefaultKnobs()
+	k.HopLatency = 0
+	comm := func(sys hardware.System) float64 {
+		r := Decode(Request{
+			Model: model.PaLM540BPadded(), System: sys, Weights: model.BF16,
+			FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardHeads,
+			Batch: 256, Context: 128, Gen: 1,
+		}, k)
+		return r.Breakdown.Comm
+	}
+	c64 := comm(hardware.TPUv4Slice(4, 4, 4))
+	c256 := comm(hardware.TPUv4Slice(8, 8, 4))
+	ratio := c64 / c256
+	if ratio < 1.6 || ratio > 2.6 {
+		t.Errorf("64→256 chips comm ratio = %.2f, want ~2 (1/sqrt scaling)", ratio)
+	}
+}
+
+// Section 3.2.1: 1D weight-stationary communication is independent of chip
+// count.
+func Test1DCommConstantInChips(t *testing.T) {
+	k := DefaultKnobs()
+	k.HopLatency = 0
+	comm := func(sys hardware.System) float64 {
+		r := Decode(Request{
+			Model: model.PaLM540BPadded(), System: sys, Weights: model.BF16,
+			FFN: partition.FFN1DWeightStationary, Attn: partition.AttnShardHeads,
+			Batch: 256, Context: 128, Gen: 1,
+		}, k)
+		return r.Breakdown.Comm
+	}
+	c64 := comm(hardware.TPUv4Slice(4, 4, 4))
+	c256 := comm(hardware.TPUv4Slice(8, 8, 4))
+	if rel := math.Abs(c64-c256) / c64; rel > 0.02 {
+		t.Errorf("1D comm changed %.1f%% from 64 to 256 chips, want ~constant", rel*100)
+	}
+}
+
+// The hop-latency floor matters exactly where the paper's scaling stops:
+// at high chip counts and tiny batches.
+func TestHopLatencyFloorsSmallBatchLatency(t *testing.T) {
+	base := DefaultKnobs()
+	noHop := base
+	noHop.HopLatency = 0
+	req := Request{
+		Model: model.PaLM540BPadded(), System: hardware.TPUv4Slice(8, 8, 4),
+		Weights: model.Int8, FFN: partition.FFN2DWeightStationary,
+		Attn: partition.AttnShardBatch, Batch: 256, Context: 64, Gen: 1,
+	}
+	withFloor := Decode(req, base)
+	without := Decode(req, noHop)
+	if withFloor.StepTime <= without.StepTime {
+		t.Error("hop latency added no time at 256 chips")
+	}
+	gap := withFloor.StepTime - without.StepTime
+	if gap < 0.001 {
+		t.Errorf("hop floor adds %.2fms at 256 chips, expected >= 1ms", gap*1000)
+	}
+}
+
+// Incremental prefill: processing 64 new tokens against a 1984-token cache
+// must be far cheaper than prefilling all 2048, and the memory check must
+// still see the whole context.
+func TestPastSemantics(t *testing.T) {
+	k := DefaultKnobs()
+	sys := hardware.TPUv4Slice(4, 4, 4)
+	full := Prefill(Request{
+		Model: model.PaLM540BPadded(), System: sys, Weights: model.Int8,
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Batch: 64, Context: 2048,
+	}, k)
+	inc := Prefill(Request{
+		Model: model.PaLM540BPadded(), System: sys, Weights: model.Int8,
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Batch: 64, Context: 64, Past: 1984,
+	}, k)
+	if !full.Feasible || !inc.Feasible {
+		t.Fatal("prefill infeasible")
+	}
+	if inc.Time > full.Time/4 {
+		t.Errorf("incremental prefill %.3fs not ≪ full %.3fs", inc.Time, full.Time)
+	}
+	// Decode from (Past=1984, Context=64) equals decode from Context=2048.
+	a := Decode(Request{
+		Model: model.PaLM540BPadded(), System: sys, Weights: model.Int8,
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Batch: 64, Context: 2048, Gen: 16,
+	}, k)
+	b := Decode(Request{
+		Model: model.PaLM540BPadded(), System: sys, Weights: model.Int8,
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Batch: 64, Context: 64, Past: 1984, Gen: 16,
+	}, k)
+	if math.Abs(a.Time-b.Time)/a.Time > 1e-9 {
+		t.Errorf("decode with Past+Context split differs: %.6f vs %.6f", a.Time, b.Time)
+	}
+	// A huge Past must trip the memory check.
+	oom := Prefill(Request{
+		Model: model.PaLM540BPadded(), System: sys, Weights: model.Int8,
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Batch: 512, Context: 64, Past: 40000,
+	}, k)
+	if oom.Feasible {
+		t.Error("40k-token past at batch 512 should OOM")
+	}
+}
+
+// Section 3.6: int8 "reduces communication volume in weight-gathered
+// layouts" — weight-gathered prefill communication must shrink with int8
+// while weight-stationary communication (activations only) is unchanged.
+func TestInt8ShrinksWeightGatheredComm(t *testing.T) {
+	k := DefaultKnobs()
+	k.HopLatency = 0
+	sys := hardware.TPUv4Slice(4, 4, 4)
+	comm := func(ffn partition.FFNLayout, dt model.DType) float64 {
+		r := Prefill(Request{
+			Model: model.PaLM540BPadded(), System: sys, Weights: dt,
+			FFN: ffn, Attn: partition.AttnShardBatch,
+			Batch: 64, Context: 2048,
+		}, k)
+		return r.Breakdown.Comm
+	}
+	wgBF := comm(partition.FFNWeightGatheredXYZ, model.BF16)
+	wgI8 := comm(partition.FFNWeightGatheredXYZ, model.Int8)
+	if ratio := wgBF / wgI8; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("int8 WG comm reduction = %.2fx, want ~2x", ratio)
+	}
+	wsBF := comm(partition.FFN2DWeightStationary, model.BF16)
+	wsI8 := comm(partition.FFN2DWeightStationary, model.Int8)
+	if wsBF != wsI8 {
+		t.Errorf("weight-stationary comm changed with dtype: %g vs %g", wsBF, wsI8)
+	}
+}
+
+// HBM budget knob: shrinking the budget turns feasible configurations
+// infeasible monotonically.
+func TestHBMBudgetMonotone(t *testing.T) {
+	req := Request{
+		Model: model.PaLM540BPadded(), System: hardware.TPUv4Slice(4, 4, 4),
+		Weights: model.BF16, FFN: partition.FFN2DWeightStationary,
+		Attn: partition.AttnShardBatch, Batch: 512, Context: 2048, Gen: 1,
+	}
+	feasibleAt := func(budget float64) bool {
+		k := DefaultKnobs()
+		k.HBMBudget = budget
+		return Decode(req, k).Feasible
+	}
+	if !feasibleAt(0.9) {
+		t.Fatal("baseline should fit")
+	}
+	if feasibleAt(0.3) {
+		t.Error("weights alone exceed 30% of HBM; must be infeasible")
+	}
+	sawInfeasible := false
+	for _, b := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+		ok := feasibleAt(b)
+		if sawInfeasible && ok {
+			t.Errorf("feasibility non-monotone at budget %.1f", b)
+		}
+		if !ok {
+			sawInfeasible = true
+		}
+	}
+}
+
+// Attention all-to-all only charges the decode phase, and only under batch
+// sharding.
+func TestAllToAllChargedCorrectly(t *testing.T) {
+	k := DefaultKnobs()
+	k.HopLatency = 0
+	sys := hardware.TPUv4Slice(4, 4, 4)
+	mk := func(attn partition.AttnLayout) (pre, dec float64) {
+		p := Prefill(Request{
+			Model: model.PaLM540BPadded(), System: sys, Weights: model.BF16,
+			FFN: partition.FFN2DWeightStationary, Attn: attn,
+			Batch: 64, Context: 512,
+		}, k)
+		d := Decode(Request{
+			Model: model.PaLM540BPadded(), System: sys, Weights: model.BF16,
+			FFN: partition.FFN2DWeightStationary, Attn: attn,
+			Batch: 64, Context: 512, Gen: 1,
+		}, k)
+		return p.Breakdown.Comm, d.Breakdown.Comm
+	}
+	preH, decH := mk(partition.AttnShardHeads)
+	preB, decB := mk(partition.AttnShardBatch)
+	if preH != preB {
+		t.Errorf("prefill comm differs by attention layout: %g vs %g", preH, preB)
+	}
+	if decB <= decH {
+		t.Error("batch-sharded decode should add all-to-all communication")
+	}
+	if (decB-decH)/decH > 0.25 {
+		t.Errorf("all-to-all overhead %.1f%% of decode comm, should be small",
+			(decB-decH)/decH*100)
+	}
+}

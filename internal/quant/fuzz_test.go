@@ -1,0 +1,51 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"esti/internal/tensor"
+)
+
+// FuzzQuantizeRoundTrip checks the symmetric-quantization error bound on
+// arbitrary matrices: every reconstructed value is within half a step of
+// the original, and quantize∘dequantize∘quantize is idempotent.
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0}, uint8(2))
+	f.Add([]byte{255, 0, 128, 7, 9, 200, 40, 41, 42}, uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, colsRaw uint8) {
+		cols := int(colsRaw)%4 + 1
+		rows := len(raw) / cols
+		if rows == 0 {
+			return
+		}
+		w := tensor.New(rows, cols)
+		for i := 0; i < rows*cols; i++ {
+			w.Data[i] = (float32(raw[i]) - 127.5) / 32 // roughly [-4, 4]
+		}
+		q := Quantize(w)
+		d := q.Dequantize()
+		for c := 0; c < cols; c++ {
+			var maxAbs float64
+			for r := 0; r < rows; r++ {
+				if a := math.Abs(float64(w.At(r, c))); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			halfStep := maxAbs / 127 / 2
+			for r := 0; r < rows; r++ {
+				err := math.Abs(float64(w.At(r, c) - d.At(r, c)))
+				if err > halfStep+1e-7 {
+					t.Fatalf("(%d,%d): error %g exceeds half-step %g", r, c, err, halfStep)
+				}
+			}
+		}
+		// Idempotence: re-quantizing the dequantized matrix is stable.
+		q2 := Quantize(d)
+		d2 := q2.Dequantize()
+		if diff := tensor.MaxAbsDiff(d, d2); diff > 1e-6 {
+			t.Fatalf("quantization not idempotent: %g", diff)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"esti/internal/tensor"
+)
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.New(32, 16).FillRand(rng, 0.5)
+	if e := RelError(w); e > 0.5/127+1e-6 {
+		t.Errorf("relative error %g exceeds symmetric int8 bound %g", e, 0.5/127)
+	}
+}
+
+func TestQuantizedMatMulCloseToFloat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := tensor.New(4, 24).FillRand(rng, 1)
+		w := tensor.New(24, 8).FillRand(rng, 0.1)
+		exact := tensor.MatMul(a, w)
+		approx := MatMul(a, Quantize(w))
+		// Error per output ≤ sum_k |a_k| · scale/2; with |a|≤1 and
+		// scale ≈ 0.1/127·2, a loose bound of 2% of max output works.
+		return tensor.MaxAbsDiff(exact, approx) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Quantized matmul must agree exactly with dequantize-then-matmul (it is the
+// same arithmetic, reordered).
+func TestMatMulMatchesDequantized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.New(3, 10).FillRand(rng, 1)
+	w := tensor.New(10, 6).FillRand(rng, 1)
+	q := Quantize(w)
+	got := MatMul(a, q)
+	want := tensor.MatMul(a, q.Dequantize())
+	if d := tensor.MaxAbsDiff(got, want); d > 1e-4 {
+		t.Errorf("quantized matmul differs from dequantized by %g", d)
+	}
+}
+
+func TestBytesHalved(t *testing.T) {
+	w := tensor.New(128, 64)
+	q := Quantize(w)
+	floatBytes := 4 * 128 * 64
+	if q.Bytes() >= floatBytes/2 {
+		t.Errorf("int8 bytes %d not under half of float32 %d", q.Bytes(), floatBytes)
+	}
+}
+
+func TestZeroColumn(t *testing.T) {
+	w := tensor.New(4, 2)
+	w.Set(0, 1, 1) // column 0 stays all-zero
+	q := Quantize(w)
+	d := q.Dequantize()
+	for r := 0; r < 4; r++ {
+		if d.At(r, 0) != 0 {
+			t.Error("zero column did not survive quantization")
+		}
+	}
+	if d.At(0, 1) == 0 {
+		t.Error("nonzero value lost")
+	}
+}
+
+func TestValuesInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := tensor.New(16, 16).FillRand(rng, 100)
+	q := Quantize(w)
+	for _, v := range q.Data {
+		if v < -127 || v > 127 {
+			t.Fatalf("int8 value %d out of symmetric range", v)
+		}
+	}
+}
+
+func TestExtremesPreserved(t *testing.T) {
+	w := tensor.FromSlice([]float32{-1, 0.5, 1, -0.25}, 2, 2)
+	q := Quantize(w)
+	d := q.Dequantize()
+	if math.Abs(float64(d.At(0, 0))+1) > 1e-6 {
+		t.Errorf("column max -1 reconstructed as %g", d.At(0, 0))
+	}
+	if math.Abs(float64(d.At(1, 0))-1) > 1e-6 {
+		t.Errorf("column max 1 reconstructed as %g", d.At(1, 0))
+	}
+}
+
+// Quantize-then-slice must equal slice-then-dequantize on the same index
+// sets (shared scales are the point).
+func TestSelectRowsCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := tensor.New(8, 6).FillRand(rng, 1)
+	q := Quantize(w)
+	rows := []int{1, 3, 4}
+	cols := []int{0, 2, 5}
+
+	qr := q.SelectRows(rows)
+	if qr.Rows != 3 || qr.Cols != 6 {
+		t.Fatalf("SelectRows shape %dx%d", qr.Rows, qr.Cols)
+	}
+	full := q.Dequantize()
+	for i, r := range rows {
+		for c := 0; c < 6; c++ {
+			if qr.Dequantize().At(i, c) != full.At(r, c) {
+				t.Fatalf("row slice mismatch at (%d,%d)", i, c)
+			}
+		}
+	}
+
+	qc := q.SelectCols(cols)
+	if qc.Rows != 8 || qc.Cols != 3 {
+		t.Fatalf("SelectCols shape %dx%d", qc.Rows, qc.Cols)
+	}
+	for r := 0; r < 8; r++ {
+		for j, c := range cols {
+			if qc.Dequantize().At(r, j) != full.At(r, c) {
+				t.Fatalf("col slice mismatch at (%d,%d)", r, j)
+			}
+		}
+	}
+
+	// Composition: row then column slicing preserves scale identity.
+	qrc := qr.SelectCols(cols)
+	for j, c := range cols {
+		if qrc.Scales[j] != q.Scales[c] {
+			t.Fatalf("scale %d not shared through slicing", j)
+		}
+	}
+}
+
+// Row-blocked quantized matmuls must sum exactly to the full quantized
+// matmul (shared scales make partial sums well-defined) — the property the
+// sharded engine's int8 mode relies on.
+func TestQuantizedPartialSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := tensor.New(3, 8).FillRand(rng, 1)
+	w := tensor.New(8, 5).FillRand(rng, 1)
+	q := Quantize(w)
+	full := MatMul(a, q)
+	top := MatMul(tensor.SliceCols(a, 0, 4), q.SelectRows([]int{0, 1, 2, 3}))
+	bot := MatMul(tensor.SliceCols(a, 4, 8), q.SelectRows([]int{4, 5, 6, 7}))
+	if d := tensor.MaxAbsDiff(full, tensor.Add(top, bot)); d > 1e-5 {
+		t.Errorf("quantized partial sums differ from full by %g", d)
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected shape panic")
+		}
+	}()
+	MatMul(tensor.New(2, 3), Quantize(tensor.New(4, 2)))
+}

@@ -1,0 +1,54 @@
+package sampling
+
+import "testing"
+
+// FuzzFilterTopKP cross-checks the selection-based filter against the
+// full-sort oracle on arbitrary probability vectors and (k, p) settings.
+func FuzzFilterTopKP(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50}, uint8(2), uint8(50))
+	f.Add([]byte{0, 0, 0, 255}, uint8(1), uint8(99))
+	f.Add([]byte{7}, uint8(9), uint8(100))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, uint8(4), uint8(30))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, pRaw uint8) {
+		if len(raw) == 0 {
+			return
+		}
+		// Build a normalized probability vector from the bytes.
+		probs := make([]float32, len(raw))
+		var sum float64
+		for i, b := range raw {
+			probs[i] = float32(b) + 0.001 // strictly positive
+			sum += float64(probs[i])
+		}
+		for i := range probs {
+			probs[i] = float32(float64(probs[i]) / sum)
+		}
+		k := int(kRaw)%len(probs) + 1
+		p := 0.01 + float64(pRaw%100)/100
+		if p > 1 {
+			p = 1
+		}
+		a := FilterTopKP(probs, k, p)
+		b := FilterTopKPSort(probs, k, p)
+		if len(a) != len(b) {
+			t.Fatalf("filter sizes differ: select %d vs sort %d (k=%d p=%g)", len(a), len(b), k, p)
+		}
+		for i := range a {
+			if !b[i] {
+				t.Fatalf("select kept %d which sort did not (k=%d p=%g)", i, k, p)
+			}
+		}
+		// The kept set never exceeds k and always has at least one token.
+		if len(a) > k || len(a) == 0 {
+			t.Fatalf("kept %d tokens with k=%d", len(a), k)
+		}
+		// Kept mass reaches p (or the set is the full top-k).
+		var mass float64
+		for i := range a {
+			mass += float64(probs[i])
+		}
+		if len(a) < k && mass < p-1e-5 {
+			t.Fatalf("kept mass %g below p=%g with only %d/%d tokens", mass, p, len(a), k)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedy(t *testing.T) {
+	if got := Greedy([]float32{0.1, 2.5, -1, 2.4}); got != 1 {
+		t.Errorf("Greedy = %d, want 1", got)
+	}
+	if got := Greedy([]float32{7}); got != 0 {
+		t.Errorf("single-token Greedy = %d", got)
+	}
+}
+
+func TestSampleZeroTemperatureIsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	logits := []float32{0.1, 3, 0.2}
+	for i := 0; i < 5; i++ {
+		if got := Sample(logits, 0, 0, 1, rng); got != 1 {
+			t.Fatalf("temperature-0 sample = %d, want argmax 1", got)
+		}
+	}
+}
+
+// The selection-based filter must pick exactly the same token set as the
+// full-sort baseline for all (k, p) settings — this is the correctness
+// contract of the paper's "faster top-k/top-p" optimization.
+func TestSelectMatchesSortOracle(t *testing.T) {
+	f := func(seed int64, kRaw, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + int(seed%50+50)%50
+		logits := make([]float32, n)
+		for i := range logits {
+			logits[i] = rng.Float32() * 10
+		}
+		probs := softmax(logits, 1)
+		k := int(kRaw)%n + 1
+		p := 0.05 + float64(pRaw%100)/100
+		if p > 1 {
+			p = 1
+		}
+		a := FilterTopKP(probs, k, p)
+		b := FilterTopKPSort(probs, k, p)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKRestrictsSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	logits := []float32{5, 4, 3, 2, 1, 0}
+	for i := 0; i < 50; i++ {
+		got := Sample(logits, 1, 2, 1, rng)
+		if got != 0 && got != 1 {
+			t.Fatalf("top-2 sample picked %d", got)
+		}
+	}
+}
+
+func TestTopPRestrictsSupport(t *testing.T) {
+	// One token with ~all the mass: top-p 0.5 must always take it.
+	rng := rand.New(rand.NewSource(3))
+	logits := []float32{20, 1, 1, 1}
+	for i := 0; i < 50; i++ {
+		if got := Sample(logits, 1, 0, 0.5, rng); got != 0 {
+			t.Fatalf("nucleus sample escaped the nucleus: %d", got)
+		}
+	}
+}
+
+func TestSampleDeterministicWithSeed(t *testing.T) {
+	logits := make([]float32, 100)
+	for i := range logits {
+		logits[i] = float32(i % 7)
+	}
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		if Sample(logits, 0.8, 10, 0.9, a) != Sample(logits, 0.8, 10, 0.9, b) {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestFilterEdgeCases(t *testing.T) {
+	probs := []float32{0.25, 0.25, 0.25, 0.25}
+	if got := FilterTopKP(probs, 0, 1); len(got) != 4 {
+		t.Errorf("k=0 (all) kept %d", len(got))
+	}
+	if got := FilterTopKP(probs, 99, 1); len(got) != 4 {
+		t.Errorf("k>n kept %d", len(got))
+	}
+	if got := FilterTopKP(probs, 4, 0.26); len(got) != 2 {
+		// 0.25 < 0.26 so a second token is needed to reach the mass.
+		t.Errorf("p=0.26 kept %d, want 2", len(got))
+	}
+	if got := FilterTopKP([]float32{1}, 1, 1); len(got) != 1 {
+		t.Errorf("singleton kept %d", len(got))
+	}
+}
+
+// Sampled distribution roughly follows the filtered softmax (chi-square-ish
+// sanity bound, not a strict statistical test).
+func TestSampleFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	logits := []float32{2, 1, 0}
+	counts := map[int]int{}
+	const n = 6000
+	for i := 0; i < n; i++ {
+		counts[Sample(logits, 1, 0, 1, rng)]++
+	}
+	probs := softmax(logits, 1)
+	for i, p := range probs {
+		want := float64(p) * n
+		got := float64(counts[i])
+		if got < want*0.8-20 || got > want*1.2+20 {
+			t.Errorf("token %d sampled %g times, expected ≈%g", i, got, want)
+		}
+	}
+}
+
+func BenchmarkFilterSelect(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	probs := softmax(randLogits(rng, 32000), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FilterTopKP(probs, 40, 0.95)
+	}
+}
+
+func BenchmarkFilterSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	probs := softmax(randLogits(rng, 32000), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FilterTopKPSort(probs, 40, 0.95)
+	}
+}
+
+func randLogits(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.Float32() * 12
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package tableio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("beta-long-name", "x")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, underline, header, separator, 2 rows → 6? title+rule+header+sep+2
+		if len(lines) != 6 {
+			t.Fatalf("got %d lines:\n%s", len(lines), s)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta-long-name") {
+		t.Error("missing row content")
+	}
+	// Columns align: "value" column starts at the same offset in header
+	// and rows (padded to the widest cell).
+	headerIdx := strings.Index(lines[2], "value")
+	rowIdx := strings.Index(lines[4], "1.5")
+	if headerIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, s)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tab := Table{Header: []string{"a"}}
+	tab.AddRow("x")
+	s := tab.String()
+	if strings.HasPrefix(s, "\n") || strings.HasPrefix(s, "=") {
+		t.Errorf("untitled table should start with header: %q", s)
+	}
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tab := Table{Header: []string{"v"}}
+	tab.AddRow(0.0)
+	tab.AddRow(12345.6)
+	tab.AddRow(42.0)
+	tab.AddRow(0.5)
+	tab.AddRow(0.001234)
+	tab.AddRow(7) // int via %v
+	want := []string{"0", "12346", "42.0", "0.500", "0.00123", "7"}
+	for i, w := range want {
+		if tab.Rows[i][0] != w {
+			t.Errorf("row %d = %q, want %q", i, tab.Rows[i][0], w)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := Ms(0.0285); got != "28.5" {
+		t.Errorf("Ms = %q, want 28.5", got)
+	}
+	if got := Pct(0.756); got != "76%" {
+		t.Errorf("Pct = %q, want 76%%", got)
+	}
+	if got := Pct1(0.756); got != "75.6%" {
+		t.Errorf("Pct1 = %q, want 75.6%%", got)
+	}
+	if got := GB(4.29e9); got != "4.29" {
+		t.Errorf("GB = %q, want 4.29", got)
+	}
+}
+
+func TestRaggedRowsDoNotPanic(t *testing.T) {
+	tab := Table{Header: []string{"a", "b"}}
+	tab.AddRow("only-one")
+	tab.AddRow("x", "y", "extra")
+	_ = tab.String()
+}

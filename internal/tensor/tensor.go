@@ -1,0 +1,351 @@
+// Package tensor is a minimal dense float32 matrix library sufficient for a
+// decoder-only Transformer forward pass: matmul, row softmax (including the
+// paper's log-base-2 fast path), RMS normalization, GELU/SiLU activations,
+// and row/column slicing used by the sharded execution engine.
+//
+// Matrices are row-major. The package favors clarity and testability over
+// SIMD performance: it exists to validate partitioning semantics, not to
+// race hardware.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major float32 matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(data []float32, rows, cols int) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: %d elements cannot form %dx%d", len(data), rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// Clone deep-copies the matrix.
+func (m *Mat) Clone() *Mat {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Mat) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (shared storage).
+func (m *Mat) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// FillRand fills the matrix with scaled uniform noise from a seeded source,
+// so tests and examples are reproducible.
+func (m *Mat) FillRand(rng *rand.Rand, scale float32) *Mat {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+// MatMul computes a·b for a [m,k] and b [k,n].
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for kk := 0; kk < a.Cols; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(kk)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT computes a·bᵀ for a [m,k] and b [n,k].
+func MatMulT(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for kk := range arow {
+				s += arow[kk] * brow[kk]
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Mat) *Mat {
+	checkSameShape("add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a and returns a.
+func AddInPlace(a, b *Mat) *Mat {
+	checkSameShape("add", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+	return a
+}
+
+// Mul returns the elementwise product.
+func Mul(a, b *Mat) *Mat {
+	checkSameShape("mul", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale multiplies every element by s, returning a new matrix.
+func Scale(a *Mat, s float32) *Mat {
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+func checkSameShape(op string, a, b *Mat) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// SliceCols returns a copy of columns [lo, hi).
+func SliceCols(a *Mat, lo, hi int) *Mat {
+	if lo < 0 || hi > a.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: column slice [%d,%d) of %d", lo, hi, a.Cols))
+	}
+	out := New(a.Rows, hi-lo)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i), a.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [lo, hi).
+func SliceRows(a *Mat, lo, hi int) *Mat {
+	if lo < 0 || hi > a.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: row slice [%d,%d) of %d", lo, hi, a.Rows))
+	}
+	out := New(hi-lo, a.Cols)
+	copy(out.Data, a.Data[lo*a.Cols:hi*a.Cols])
+	return out
+}
+
+// ConcatCols concatenates matrices with equal row counts side by side.
+func ConcatCols(ms ...*Mat) *Mat {
+	if len(ms) == 0 {
+		panic("tensor: concat of nothing")
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor: concatCols row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		orow := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(orow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// ConcatRows stacks matrices with equal column counts.
+func ConcatRows(ms ...*Mat) *Mat {
+	if len(ms) == 0 {
+		panic("tensor: concat of nothing")
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic("tensor: concatRows col mismatch")
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:off+len(m.Data)], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Mat) *Mat {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Set(j, i, a.At(i, j))
+		}
+	}
+	return out
+}
+
+// log2e converts natural exponent to base-2 exponent: e^x = 2^(x·log2(e)).
+const log2e = 1.4426950408889634
+
+// SoftmaxRows applies a numerically stable softmax to each row in place.
+func SoftmaxRows(a *Mat) {
+	softmaxRows(a, false)
+}
+
+// SoftmaxRowsBase2 is the paper's "faster log-base-2 implementation of
+// Softmax" (Section 3.5): it computes 2^((x-max)·log2 e) instead of
+// e^(x-max), which maps to cheaper exponent hardware. Numerically it is the
+// same function; the test suite asserts equality with SoftmaxRows.
+func SoftmaxRowsBase2(a *Mat) {
+	softmaxRows(a, true)
+}
+
+func softmaxRows(a *Mat, base2 bool) {
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		maxV := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			var e float64
+			if base2 {
+				e = math.Exp2(float64(v-maxV) * log2e)
+			} else {
+				e = math.Exp(float64(v - maxV))
+			}
+			row[j] = float32(e)
+			sum += row[j]
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// RMSNorm applies root-mean-square layer normalization per row with a learned
+// gain, returning a new matrix (PaLM-style, no bias, no mean subtraction).
+func RMSNorm(a *Mat, gain []float32, eps float32) *Mat {
+	if len(gain) != a.Cols {
+		panic(fmt.Sprintf("tensor: rmsnorm gain %d vs cols %d", len(gain), a.Cols))
+	}
+	out := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		var ss float64
+		for _, v := range row {
+			ss += float64(v) * float64(v)
+		}
+		inv := float32(1 / math.Sqrt(ss/float64(a.Cols)+float64(eps)))
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = v * inv * gain[j]
+		}
+	}
+	return out
+}
+
+// GELU applies the tanh-approximated Gaussian error linear unit in place.
+func GELU(a *Mat) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range a.Data {
+		x := float64(v)
+		a.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+}
+
+// SiLU applies x·sigmoid(x) in place (the "swish" activation PaLM gates
+// with).
+func SiLU(a *Mat) {
+	for i, v := range a.Data {
+		a.Data[i] = v * sigmoid(v)
+	}
+}
+
+// SiLUBase2 is the log-base-2 swish variant of Section 3.5: sigmoid via
+// 2^(-x·log2 e). Identical function, asserted equal in tests.
+func SiLUBase2(a *Mat) {
+	for i, v := range a.Data {
+		e := float32(math.Exp2(float64(-v) * log2e))
+		a.Data[i] = v / (1 + e)
+	}
+}
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference.
+func MaxAbsDiff(a, b *Mat) float64 {
+	checkSameShape("diff", a, b)
+	var maxD float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// AllClose reports whether all elements agree within atol + rtol·|b|.
+func AllClose(a, b *Mat, rtol, atol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		av, bv := float64(a.Data[i]), float64(b.Data[i])
+		if math.Abs(av-bv) > atol+rtol*math.Abs(bv) {
+			return false
+		}
+	}
+	return true
+}
