@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: test bench fuzz build
+
+# Tier-1 verification plus race detection in one command.
+test:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+# Regenerate every paper artifact benchmark plus the serving baselines.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Hammer the per-slot KV-cache invariants beyond the seeded corpus.
+fuzz:
+	$(GO) test ./internal/kvcache -run='^$$' -fuzz=FuzzSlotIsolation -fuzztime=30s

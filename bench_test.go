@@ -13,6 +13,7 @@ package esti
 import (
 	"testing"
 
+	"esti/internal/batching"
 	"esti/internal/engine"
 	"esti/internal/experiments"
 	"esti/internal/ftdata"
@@ -240,6 +241,77 @@ func BenchmarkPerfModelDecode(b *testing.B) {
 		if res := perf.Decode(r, k); !res.Feasible {
 			b.Fatal(res.Reason)
 		}
+	}
+}
+
+// BenchmarkContinuousBatching measures the iteration-level scheduler
+// replaying a 200-request mixed-length chatbot trace against the PaLM 540B
+// continuous pool — the throughput baseline future scheduling and caching
+// PRs are measured against.
+func BenchmarkContinuousBatching(b *testing.B) {
+	c := batching.Config{
+		Model:    model.PaLM540BPadded(),
+		Weights:  model.Int8,
+		System:   hardware.TPUv4Slice(4, 4, 4),
+		FFN:      partition.FFN2DWeightStationary,
+		Attn:     partition.AttnShardBatch,
+		Slots:    64,
+		MaxLen:   2048 + 256,
+		MaxAdmit: 4,
+		Knobs:    knobs(),
+	}
+	trace := batching.ChatbotTrace(200, 0.05, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := batching.Simulate(c, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != 200 {
+			b.Fatalf("completed %d/200", res.Completed)
+		}
+	}
+}
+
+// BenchmarkEngineContinuousStep measures one variable-length DecodeSlots
+// step with a partially occupied batch on the functional engine. Slots are
+// released and re-prefilled (untimed) whenever the deepest one nears
+// capacity, so the attended KV depth stays bounded and ns/op is stable
+// across -benchtime.
+func BenchmarkEngineContinuousStep(b *testing.B) {
+	cfg := model.Config{
+		Name: "bench", Layers: 2, DModel: 64, DFF: 128,
+		Heads: 8, HeadDim: 8, KVHeads: 1, Attn: model.Multiquery,
+		FFNKind: model.SwiGLU, ParallelBlock: true, Vocab: 64,
+	}
+	const maxLen = 64
+	w := reference.NewWeights(cfg, 1)
+	eng, err := engine.New(w, hardware.Torus{X: 2, Y: 2, Z: 2}, engine.Options{
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+	}, 8, maxLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	active := make([]bool, 8)
+	last := make([]int, 8)
+	seed := func() {
+		for s := 0; s < 8; s += 2 { // half-occupied batch at staggered depths
+			eng.PrefillSlot(s, []int{1, 2, 3}[:1+s/3])
+			active[s] = true
+		}
+	}
+	seed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eng.SlotLen(6) >= maxLen-1 { // slot 6 runs deepest
+			b.StopTimer()
+			for s := 0; s < 8; s += 2 {
+				eng.ReleaseSlot(s)
+			}
+			seed()
+			b.StartTimer()
+		}
+		eng.DecodeSlots(last, active)
 	}
 }
 

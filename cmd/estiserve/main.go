@@ -9,6 +9,13 @@
 //	    -prefill-chips 64 -prefill-batch 1 \
 //	    -decode-chips 64 -decode-batch 64 \
 //	    -context 2048 -gen 64 -load 0.8 -requests 200
+//
+// With -continuous, the same total chip budget is additionally run as one
+// continuous-batching pool (iteration-level scheduling, per-slot KV cache)
+// over a mixed-length chatbot trace and compared head-to-head against the
+// tuned static pipeline:
+//
+//	estiserve -model palm540b -continuous -requests 200 -slots 64
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 	"strings"
 
+	"esti/internal/batching"
 	"esti/internal/hardware"
 	"esti/internal/model"
 	"esti/internal/partition"
@@ -35,6 +43,10 @@ func main() {
 	gen := flag.Int("gen", 64, "output tokens per request")
 	load := flag.Float64("load", 0.8, "offered load as a fraction of pipeline capacity")
 	requests := flag.Int("requests", 200, "requests to simulate (0 = analysis only)")
+	continuous := flag.Bool("continuous", false, "also run a continuous-batching pool on the total chips and compare")
+	slots := flag.Int("slots", 64, "continuous batching: concurrent KV-cache slots")
+	maxAdmit := flag.Int("max-admit", 4, "continuous batching: admissions per iteration (0 = unlimited)")
+	seed := flag.Int64("seed", 1, "continuous batching: trace seed")
 	flag.Parse()
 
 	cfg, ok := modelByName(*modelName)
@@ -95,6 +107,41 @@ func main() {
 			res.P50, res.P95, res.P99, res.MeanLatency)
 		fmt.Printf("  achieved throughput: %.2f req/s; tier busy: prefill %.0f%%, decode %.0f%%\n",
 			res.Throughput, res.PrefillBusyFrac*100, res.DecodeBusyFrac*100)
+	}
+
+	if *continuous {
+		n := *requests
+		if n < 2 {
+			n = 200
+		}
+		totalChips := *preChips + *decChips
+		inter := 1 / (m.Throughput * *load)
+		trace := batching.ChatbotTrace(n, inter, *seed)
+		bc := batching.Config{
+			Model:    cfg,
+			Weights:  dt,
+			System:   hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(totalChips)),
+			FFN:      partition.FFN2DWeightStationary,
+			Attn:     decodeAttn(cfg),
+			Slots:    *slots,
+			MaxLen:   trace.MaxContext() + trace.MaxGen(), // every request fits its slot
+			MaxAdmit: *maxAdmit,
+			Knobs:    perf.DefaultKnobs(),
+		}
+		cmp, err := batching.CompareStatic(bc, trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cres := cmp.Continuous
+		fmt.Printf("\ncontinuous batching: %d chips as one pool, %d slots, mixed trace of %d requests:\n",
+			totalChips, *slots, n)
+		fmt.Printf("  useful throughput: %.1f tok/s continuous vs %.1f tok/s static two-tier (%.2fx)\n",
+			cmp.ContinuousTokensPerSec, cmp.StaticTokensPerSec, cmp.Speedup)
+		fmt.Printf("  static baseline tuned to prefill batch %d / decode batch %d (padded to %d ctx, %d gen)\n",
+			cmp.StaticTuned.PrefillBatch, cmp.StaticTuned.DecodeBatch, trace.MaxContext(), trace.MaxGen())
+		fmt.Printf("  occupancy %.0f%%, %d iterations; latency p50/p95/p99: %.2fs / %.2fs / %.2fs\n",
+			cres.MeanOccupancy*100, cres.Iterations, cres.P50, cres.P95, cres.P99)
 	}
 }
 

@@ -13,6 +13,8 @@
 //   - internal/perf:     the calibrated latency/MFU/cost model
 //   - internal/planner:  layout selection (Section 4.1)
 //   - internal/engine:   functional sharded execution on a simulated mesh
+//   - internal/serve:    static two-tier (prefill → decode) pipeline
+//   - internal/batching: iteration-level continuous batching
 //   - internal/experiments: regeneration of every table and figure
 //
 // Quick start:
@@ -26,11 +28,27 @@
 //	}, esti.DefaultKnobs())
 //	fmt.Printf("%.1f ms/token at %.0f%% MFU\n", res.StepTime*1000, res.MFU*100)
 //
-// See examples/ for runnable scenarios and cmd/estibench for the paper's
-// tables and figures.
+// Beyond static batches, the continuous-batching subsystem serves dynamic
+// mixed-length traffic: requests are admitted into per-sequence KV-cache
+// slots at iteration granularity, freed slots are refilled mid-stream, and
+// the whole discipline is costed with the same perf model
+// (SimulateContinuous) and executed functionally by the engine
+// (engine.DecodeSlots / engine.PrefillSlot):
+//
+//	c := esti.ContinuousConfig{
+//		Model: cfg, Weights: esti.Int8, System: sys,
+//		FFN: esti.FFN2DWeightStationary, Attn: esti.AttnShardBatch,
+//		Slots: 64, MaxLen: 2048 + 256, Knobs: esti.DefaultKnobs(),
+//	}
+//	res, _ := esti.SimulateContinuous(c, esti.ChatbotTrace(200, 0.05, 1))
+//	fmt.Printf("%.0f useful tok/s\n", res.GenTokensPerSec)
+//
+// See examples/ for runnable scenarios (examples/continuousbatch for the
+// serving comparison) and cmd/estibench for the paper's tables and figures.
 package esti
 
 import (
+	"esti/internal/batching"
 	"esti/internal/hardware"
 	"esti/internal/model"
 	"esti/internal/partition"
@@ -104,4 +122,33 @@ func Decode(r Request, k Knobs) Result { return perf.Decode(r, k) }
 // MakePlan selects layouts for a workload, minimizing latency.
 func MakePlan(cfg Model, sys System, dt DType, w Workload, k Knobs) Plan {
 	return planner.Make(cfg, sys, dt, w, planner.MinLatency, k)
+}
+
+// Continuous batching, re-exported.
+type (
+	// ContinuousConfig describes a continuous-batching pool: one chip
+	// slice serving both phases with slot-level admission.
+	ContinuousConfig = batching.Config
+	// ContinuousResult summarizes a continuous-batching simulation.
+	ContinuousResult = batching.Result
+	// RequestTrace is an ordered stream of mixed-length requests.
+	RequestTrace = batching.Trace
+	// ServingComparison is the continuous-vs-static head-to-head.
+	ServingComparison = batching.Comparison
+)
+
+// ChatbotTrace builds a deterministic mixed-length chatbot workload.
+func ChatbotTrace(n int, interarrival float64, seed int64) RequestTrace {
+	return batching.ChatbotTrace(n, interarrival, seed)
+}
+
+// SimulateContinuous runs the iteration-level scheduler over a trace.
+func SimulateContinuous(c ContinuousConfig, t RequestTrace) (ContinuousResult, error) {
+	return batching.Simulate(c, t)
+}
+
+// CompareServing replays the same trace through continuous batching and the
+// static two-tier pipeline at equal total chip count.
+func CompareServing(c ContinuousConfig, t RequestTrace) (ServingComparison, error) {
+	return batching.CompareStatic(c, t)
 }

@@ -1,0 +1,3 @@
+module esti
+
+go 1.21

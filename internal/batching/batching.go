@@ -1,0 +1,368 @@
+// Package batching implements iteration-level ("continuous") batching for
+// the decode phase, the scheduling discipline serving systems such as
+// DeepSpeed Inference and Orca use to keep the decode batch full under
+// heavy, mixed-length traffic. Where package serve models *static* batches
+// — every sequence enters and leaves together, padded to a common shape —
+// this package schedules at the granularity the paper's cost model already
+// exposes: one decode step. Each request owns one KV-cache slot from
+// admission to completion; the moment a sequence finishes, its slot is
+// released and the next queued prompt is prefilled into it while the rest
+// of the batch keeps decoding (the engine-level counterpart is
+// engine.PrefillSlot + engine.DecodeSlots).
+//
+// All times come from the calibrated perf model: admission pays the batch-1
+// prefill cost of the actual prompt length, and every iteration pays one
+// decode-step cost at the *actual* batch occupancy and mean context — no
+// padding to the longest sequence, which is exactly the waste the
+// comparison against package serve quantifies (CompareStatic).
+package batching
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+)
+
+// Request is one serving request in a trace: a prompt of Context tokens
+// arriving at Arrival, wanting Gen generated tokens.
+type Request struct {
+	ID      int
+	Arrival float64
+	Context int
+	Gen     int
+	// Filled by Simulate:
+	Admitted float64 // when the request entered a slot
+	Done     float64 // when its last token was generated
+	Slot     int     // the slot it occupied (-1 if rejected)
+}
+
+// Latency is the request's end-to-end time including queueing.
+func (r Request) Latency() float64 { return r.Done - r.Arrival }
+
+// Trace is an ordered request stream.
+type Trace struct {
+	Requests []Request
+}
+
+// MaxContext returns the longest prompt in the trace.
+func (t Trace) MaxContext() int {
+	max := 0
+	for _, r := range t.Requests {
+		if r.Context > max {
+			max = r.Context
+		}
+	}
+	return max
+}
+
+// MaxGen returns the longest generation length in the trace.
+func (t Trace) MaxGen() int {
+	max := 0
+	for _, r := range t.Requests {
+		if r.Gen > max {
+			max = r.Gen
+		}
+	}
+	return max
+}
+
+// TotalGen sums the useful (requested) generation lengths.
+func (t Trace) TotalGen() int {
+	total := 0
+	for _, r := range t.Requests {
+		total += r.Gen
+	}
+	return total
+}
+
+// ChatbotTrace builds a deterministic mixed-length chatbot workload in the
+// neighborhood of the paper's chatbot setting (2048 input / 64 output):
+// prompts range from short follow-up turns to full-context documents and
+// generation lengths from terse answers to long completions, arriving at a
+// fixed interarrival. The mix is what static batching cannot exploit — a
+// static batch pads every sequence to the longest — and what slot-level
+// admission feeds on.
+func ChatbotTrace(n int, interarrival float64, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	contexts := []int{128, 256, 512, 1024, 2048}
+	ctxWeights := []float64{0.15, 0.25, 0.3, 0.2, 0.1}
+	gens := []int{16, 32, 64, 128, 256}
+	genWeights := []float64{0.2, 0.3, 0.3, 0.15, 0.05}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:      i,
+			Arrival: float64(i) * interarrival,
+			Context: contexts[pick(rng, ctxWeights)],
+			Gen:     gens[pick(rng, genWeights)],
+			Slot:    -1,
+		}
+	}
+	return Trace{Requests: reqs}
+}
+
+func pick(rng *rand.Rand, weights []float64) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if r < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Config describes the continuous-batching deployment: one chip slice
+// serving both phases, with Slots concurrent sequences.
+type Config struct {
+	Model   model.Config
+	Weights model.DType
+	System  hardware.System
+	FFN     partition.FFNLayout
+	Attn    partition.AttnLayout
+	// Slots is the number of concurrent sequences (the decode batch when
+	// full).
+	Slots int
+	// MaxLen is the per-slot KV capacity; requests with Context+Gen >
+	// MaxLen are rejected at admission.
+	MaxLen int
+	// MaxAdmit caps admissions per iteration (0 = no cap). Inline prefill
+	// stalls the whole batch for its duration, so real schedulers bound
+	// how much prefill work a single iteration may absorb.
+	MaxAdmit int
+	Knobs    perf.Knobs
+}
+
+func (c Config) validate() error {
+	if c.Slots < 1 {
+		return fmt.Errorf("batching: %d slots", c.Slots)
+	}
+	if c.MaxLen < 2 {
+		return fmt.Errorf("batching: per-slot capacity %d < 2", c.MaxLen)
+	}
+	// Feasibility at full occupancy and depth: if the KV cache of Slots
+	// sequences at MaxLen doesn't fit beside the weights, the deployment
+	// can never run full.
+	probe := perf.Decode(perf.Request{
+		Model: c.Model, System: c.System, Weights: c.Weights,
+		FFN: c.FFN, Attn: c.Attn,
+		Batch: c.Slots, Context: c.MaxLen - 1, Gen: 1,
+	}, c.Knobs)
+	if !probe.Feasible {
+		return fmt.Errorf("batching: infeasible at full occupancy: %s", probe.Reason)
+	}
+	return nil
+}
+
+// Result summarizes a continuous-batching simulation.
+type Result struct {
+	Completed int
+	Rejected  int // requests exceeding per-slot capacity
+	Makespan  float64
+	// GenTokens counts useful generated tokens (each request's actual Gen).
+	GenTokens       int
+	GenTokensPerSec float64
+	MeanLatency     float64
+	P50, P95, P99   float64
+	// MeanOccupancy is the time-weighted fraction of slots holding a live
+	// sequence — the quantity continuous batching exists to maximize.
+	MeanOccupancy float64
+	// Iterations counts scheduler iterations (decode steps and/or
+	// admission rounds).
+	Iterations int
+	PerRequest []Request
+}
+
+// slotState tracks one occupied slot.
+type slotState struct {
+	req      *Request
+	produced int // tokens generated so far (prefill yields the first)
+}
+
+// Simulate runs the iteration-level scheduler over the trace and returns
+// per-request and aggregate metrics. Discipline per iteration:
+//
+//  1. Admit queued requests into free slots, oldest first (bounded by
+//     MaxAdmit); each admission pays the batch-1 prefill cost of its
+//     actual prompt length and yields the request's first token.
+//  2. Run one decode step over the previously running slots at their
+//     actual count and mean context.
+//  3. Completions free their slots immediately, so the next iteration can
+//     admit into them — the batch never drains to refill.
+//
+// The simulation is deterministic: same config and trace, same result.
+func Simulate(c Config, trace Trace) (Result, error) {
+	if err := c.validate(); err != nil {
+		return Result{}, err
+	}
+
+	reqs := make([]Request, len(trace.Requests))
+	copy(reqs, trace.Requests)
+	sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].Arrival < reqs[b].Arrival })
+
+	eligible := make([]*Request, 0, len(reqs))
+	rejected := 0
+	for i := range reqs {
+		r := &reqs[i]
+		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
+			// A non-finite arrival would stall the event loop forever
+			// (NaN compares false with everything).
+			return Result{}, fmt.Errorf("batching: request %d has invalid arrival %g", r.ID, r.Arrival)
+		}
+		if r.Context < 1 || r.Gen < 1 || r.Context+r.Gen > c.MaxLen {
+			r.Slot = -1
+			rejected++
+			continue
+		}
+		eligible = append(eligible, r)
+	}
+
+	prefillMemo := map[int]float64{}
+	prefillT := func(ctx int) float64 {
+		if t, ok := prefillMemo[ctx]; ok {
+			return t
+		}
+		res := perf.Prefill(perf.Request{
+			Model: c.Model, System: c.System, Weights: c.Weights,
+			FFN: c.FFN, Attn: c.Attn, Batch: 1, Context: ctx,
+		}, c.Knobs)
+		prefillMemo[ctx] = res.Time
+		return res.Time
+	}
+	type stepKey struct{ batch, ctx int }
+	stepMemo := map[stepKey]float64{}
+	decodeT := func(batch, ctx int) float64 {
+		// Bucket the context so the memo stays small; the step cost varies
+		// slowly with context.
+		key := stepKey{batch, (ctx + 31) / 32 * 32}
+		if t, ok := stepMemo[key]; ok {
+			return t
+		}
+		res := perf.Decode(perf.Request{
+			Model: c.Model, System: c.System, Weights: c.Weights,
+			FFN: c.FFN, Attn: c.Attn, Batch: batch, Context: key.ctx, Gen: 1,
+		}, c.Knobs)
+		stepMemo[key] = res.Time
+		return res.Time
+	}
+
+	slots := make([]*slotState, c.Slots)
+	free := c.Slots
+	var queue []*Request
+	next := 0
+	t := 0.0
+	busyWeighted := 0.0
+	iterations := 0
+	completed := 0
+	genTokens := 0
+	makespan := 0.0
+
+	for completed < len(eligible) {
+		for next < len(eligible) && eligible[next].Arrival <= t {
+			queue = append(queue, eligible[next])
+			next++
+		}
+		if free == c.Slots && len(queue) == 0 {
+			// Idle: jump to the next arrival.
+			t = eligible[next].Arrival
+			continue
+		}
+
+		iterTime := 0.0
+		admittedThisIter := map[int]bool{}
+		for free > 0 && len(queue) > 0 {
+			if c.MaxAdmit > 0 && len(admittedThisIter) >= c.MaxAdmit {
+				break
+			}
+			r := queue[0]
+			queue = queue[1:]
+			s := -1
+			for i, ss := range slots {
+				if ss == nil {
+					s = i
+					break
+				}
+			}
+			slots[s] = &slotState{req: r, produced: 1} // prefill yields token #1
+			free--
+			r.Admitted = t
+			r.Slot = s
+			admittedThisIter[s] = true
+			iterTime += prefillT(r.Context)
+		}
+
+		// Decode step over the slots that were already running; the newly
+		// admitted ones got this iteration's token from their prefill.
+		decodeBatch := 0
+		ctxSum := 0
+		for s, ss := range slots {
+			if ss == nil || admittedThisIter[s] {
+				continue
+			}
+			decodeBatch++
+			ctxSum += ss.req.Context + ss.produced
+		}
+		if decodeBatch > 0 {
+			iterTime += decodeT(decodeBatch, ctxSum/decodeBatch)
+		}
+
+		nActive := c.Slots - free
+		t += iterTime
+		iterations++
+		busyWeighted += float64(nActive) * iterTime
+
+		for s, ss := range slots {
+			if ss == nil {
+				continue
+			}
+			if !admittedThisIter[s] {
+				ss.produced++
+			}
+			if ss.produced >= ss.req.Gen {
+				ss.req.Done = t
+				completed++
+				genTokens += ss.req.Gen
+				slots[s] = nil
+				free++
+				if t > makespan {
+					makespan = t
+				}
+			}
+		}
+	}
+
+	res := Result{
+		Completed:  completed,
+		Rejected:   rejected,
+		Makespan:   makespan,
+		GenTokens:  genTokens,
+		Iterations: iterations,
+		PerRequest: reqs,
+	}
+	if makespan > 0 {
+		res.GenTokensPerSec = float64(genTokens) / makespan
+		res.MeanOccupancy = busyWeighted / (float64(c.Slots) * makespan)
+	}
+	if len(eligible) > 0 {
+		lat := make([]float64, len(eligible))
+		sum := 0.0
+		for i, r := range eligible {
+			lat[i] = r.Latency()
+			sum += lat[i]
+		}
+		sort.Float64s(lat)
+		pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+		res.MeanLatency = sum / float64(len(eligible))
+		res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+	} else {
+		res.MeanLatency = math.NaN()
+	}
+	return res, nil
+}

@@ -371,9 +371,13 @@ func rsCols(o collective.Op, g hardware.AxisGroup, m *tensor.Mat, size int) *ten
 }
 
 // shardNorm RMS-normalizes an E-sharded activation using a per-token
-// all-reduce of local sums of squares.
+// all-reduce of local sums of squares. The buffer is padded to a multiple
+// of the group size so row counts that don't divide the chip count — e.g.
+// a single admitted prompt's tokens — reduce cleanly.
 func shardNorm(c *mesh.Chip, st *chipState, x *tensor.Mat, gain []float32, eTotal int) *tensor.Mat {
-	sumsq := make([]float32, x.Rows)
+	_, groupSize := c.GroupRank(hardware.GroupXYZ)
+	padded := (x.Rows + groupSize - 1) / groupSize * groupSize
+	sumsq := make([]float32, padded)
 	for i := 0; i < x.Rows; i++ {
 		var s float32
 		for _, v := range x.Row(i) {

@@ -6,6 +6,7 @@ import (
 
 	"esti/internal/collective"
 	"esti/internal/hardware"
+	"esti/internal/kvcache"
 	"esti/internal/mesh"
 	"esti/internal/model"
 	"esti/internal/partition"
@@ -20,7 +21,7 @@ func (e *Engine) Prefill(tokens []int, steps int) *tensor.Mat {
 	if len(tokens) != e.batch*steps {
 		panic(fmt.Sprintf("engine: %d tokens for batch %d × steps %d", len(tokens), e.batch, steps))
 	}
-	return e.forward(tokens, steps)
+	return e.forward(tokens, steps, nil)
 }
 
 // Decode runs one autoregressive step from each sequence's last token and
@@ -29,7 +30,24 @@ func (e *Engine) Decode(last []int) *tensor.Mat {
 	if len(last) != e.batch {
 		panic(fmt.Sprintf("engine: %d last-tokens for batch %d", len(last), e.batch))
 	}
-	return e.forward(last, 1)
+	return e.forward(last, 1, nil)
+}
+
+// DecodeSlots runs one variable-length decode step: every active slot
+// advances one token against its own KV-cache depth, which may differ per
+// slot — the iteration a continuous-batching scheduler issues. Slots with
+// active[s] == false are skipped entirely: their last[s] is ignored, their
+// logits row is zero, and their cache does not grow, so a freed slot idles
+// at no cost until PrefillSlot admits the next request into it. A nil mask
+// decodes every slot. Returns [batch, vocab] logits.
+func (e *Engine) DecodeSlots(last []int, active []bool) *tensor.Mat {
+	if len(last) != e.batch {
+		panic(fmt.Sprintf("engine: %d last-tokens for batch %d", len(last), e.batch))
+	}
+	if active != nil && len(active) != e.batch {
+		panic(fmt.Sprintf("engine: %d mask entries for batch %d", len(active), e.batch))
+	}
+	return e.forward(last, 1, active)
 }
 
 // Generate greedily decodes `gen` tokens after prefilling, mirroring
@@ -64,20 +82,25 @@ func argmaxRow(m *tensor.Mat, r int) int {
 }
 
 // forward runs the SPMD program on every chip and returns chip 0's logits.
-func (e *Engine) forward(tokens []int, steps int) *tensor.Mat {
+// A non-nil active mask (steps must be 1) zeroes inactive slots end to end:
+// their embedding rows are zero, their K/V are neither appended nor
+// advanced, and their attention output is zero.
+func (e *Engine) forward(tokens []int, steps int, active []bool) *tensor.Mat {
 	if e.opts.FFN == partition.FFNWeightGatheredXYZ {
-		return e.forwardWG(tokens, steps)
+		return e.forwardWG(tokens, steps, active)
 	}
 	nTok := e.batch * steps
 	results := make([]*tensor.Mat, e.m.Chips())
 	var mu sync.Mutex
 	e.m.Run(func(c *mesh.Chip) {
 		st := e.chips[c.Rank]
-		past := st.cache.Len
 
 		// Embedding lookup onto this chip's residual-stream slice.
 		x := tensor.New(nTok, st.embedCols.Cols)
 		for i, tok := range tokens {
+			if active != nil && !active[i/steps] {
+				continue // inactive slot: zero row
+			}
 			if tok < 0 || tok >= e.cfg.Vocab {
 				panic(fmt.Sprintf("engine: token %d out of vocab %d", tok, e.cfg.Vocab))
 			}
@@ -88,17 +111,17 @@ func (e *Engine) forward(tokens []int, steps int) *tensor.Mat {
 			cl := &st.layers[l]
 			if e.cfg.ParallelBlock {
 				h := shardNorm(c, st, x, cl.normGain, e.cfg.DModel)
-				attnY := e.attnBlock(c, st, cl, l, h, steps, past)
+				attnY := e.attnBlock(c, st, cl, l, h, steps, active)
 				ffnY := e.ffnBlock(c, st, cl, h)
 				x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
 			} else {
 				h := shardNorm(c, st, x, cl.normGain, e.cfg.DModel)
-				x = tensor.AddInPlace(x, e.attnBlock(c, st, cl, l, h, steps, past))
+				x = tensor.AddInPlace(x, e.attnBlock(c, st, cl, l, h, steps, active))
 				h2 := shardNorm(c, st, x, cl.ffnNormGain, e.cfg.DModel)
 				x = tensor.AddInPlace(x, e.ffnBlock(c, st, cl, h2))
 			}
 		}
-		st.cache.Advance(steps)
+		e.advanceChip(c, st, steps, active)
 
 		final := shardNorm(c, st, x, st.finalGain, e.cfg.DModel)
 		// Logits: gather the full final activation, multiply by this
@@ -112,6 +135,37 @@ func (e *Engine) forward(tokens []int, steps int) *tensor.Mat {
 		mu.Unlock()
 	})
 	return results[0]
+}
+
+// advanceChip commits the pass's appended positions on this chip's cache
+// shard: all slots in lockstep when no mask, only the active slots' local
+// indices otherwise.
+func (e *Engine) advanceChip(c *mesh.Chip, st *chipState, steps int, active []bool) {
+	if active == nil {
+		st.cache.Advance(steps)
+		return
+	}
+	if e.batchShardedCache() {
+		seqsPC := e.batch / e.m.Chips()
+		for i := 0; i < seqsPC; i++ {
+			if active[c.Rank*seqsPC+i] {
+				st.cache.AdvanceSeq(i, steps)
+			}
+		}
+		return
+	}
+	for s, a := range active {
+		if a {
+			st.cache.AdvanceSeq(s, steps)
+		}
+	}
+}
+
+// batchShardedCache reports whether each chip's cache holds a sequence
+// shard (batch-sharded attention, which the weight-gathered layout also
+// requires) rather than the whole batch.
+func (e *Engine) batchShardedCache() bool {
+	return e.opts.Attn == partition.AttnShardBatch
 }
 
 // ffnBlock runs the feedforward sub-block on the E-sharded normed input,
@@ -186,7 +240,7 @@ func (e *Engine) activate(cl *chipLayer, hFull *tensor.Mat) *tensor.Mat {
 
 // attnBlock runs the attention sub-block on the E-sharded normed input,
 // returning the E-sharded output.
-func (e *Engine) attnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, layer int, h *tensor.Mat, steps, past int) *tensor.Mat {
+func (e *Engine) attnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, layer int, h *tensor.Mat, steps int, active []bool) *tensor.Mat {
 	n := e.m.Chips()
 	// Projections need the full-width input (head-block sharding of W_Q
 	// contracts all of E). In the production system this all-gather is
@@ -198,16 +252,39 @@ func (e *Engine) attnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, layer int
 
 	var outLocal *tensor.Mat
 	if e.opts.Attn == partition.AttnShardBatch {
-		outLocal = e.attnBatchSharded(c, st, layer, qLocal, kNew, vNew, steps, past)
+		outLocal = e.attnBatchSharded(c, st, layer, qLocal, kNew, vNew, steps, active)
 	} else {
 		// Head-sharded: the local cache holds this chip's KV heads (or
 		// the replicated multiquery head); everything is chip-local.
-		st.cache.Append(layer, kNew, vNew, steps)
-		outLocal = reference.Attend(e.cfg.HeadDim, qLocal, st.cache, layer, e.batch, steps, past)
+		outLocal = appendAndAttend(e.cfg.HeadDim, qLocal, st.cache, layer, e.batch, steps, active, kNew, vNew)
 	}
 
 	partial := cl.wo.mul(outLocal) // [tokens, E] partialsum over chips
 	return rsCols(st.op(c), hardware.GroupXYZ, partial, n)
+}
+
+// appendAndAttend appends the new K/V and computes attention for `seqs`
+// query blocks against the matching cache slots. With a mask, inactive
+// slots are skipped (zero output, no append); with nil, all slots run in
+// lockstep at a uniform depth.
+func appendAndAttend(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, seqs, steps int, active []bool, kNew, vNew *tensor.Mat) *tensor.Mat {
+	if active == nil {
+		cache.Append(layer, kNew, vNew, steps)
+		return reference.Attend(dh, q, cache, layer, seqs, steps)
+	}
+	out := tensor.New(q.Rows, q.Cols)
+	for s := 0; s < seqs; s++ {
+		if !active[s] {
+			continue
+		}
+		k := tensor.SliceRows(kNew, s*steps, (s+1)*steps)
+		v := tensor.SliceRows(vNew, s*steps, (s+1)*steps)
+		cache.AppendSeq(layer, s, k, v, steps)
+		qs := tensor.SliceRows(q, s*steps, (s+1)*steps)
+		oh := reference.AttendSeq(dh, qs, cache, layer, s, steps)
+		copy(out.Data[s*steps*q.Cols:(s+1)*steps*q.Cols], oh.Data)
+	}
+	return out
 }
 
 // attnBatchSharded reshards Q from head-sharded to batch-sharded with an
@@ -216,14 +293,19 @@ func (e *Engine) attnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, layer int
 // replicated from the projection (multiquery K/V are identical on every
 // chip; batch-sharded multihead stores full K/V projections), so each chip
 // just slices its own sequences' rows into its cache shard.
-func (e *Engine) attnBatchSharded(c *mesh.Chip, st *chipState, layer int, qLocal, kNew, vNew *tensor.Mat, steps, past int) *tensor.Mat {
+func (e *Engine) attnBatchSharded(c *mesh.Chip, st *chipState, layer int, qLocal, kNew, vNew *tensor.Mat, steps int, active []bool) *tensor.Mat {
 	n := e.m.Chips()
 	seqsPC := e.batch / n
 	rowsPC := seqsPC * steps
 
-	// Cache this chip's sequences.
+	// This chip's sequences: cache the active ones.
+	var localActive []bool
+	if active != nil {
+		localActive = active[c.Rank*seqsPC : (c.Rank+1)*seqsPC]
+	}
 	myRows := contiguous(c.Rank*rowsPC, rowsPC)
-	st.cache.Append(layer, selectRows(kNew, myRows), selectRows(vNew, myRows), steps)
+	kMine := selectRows(kNew, myRows)
+	vMine := selectRows(vNew, myRows)
 
 	// All-to-all #1: send each destination its sequence block of my
 	// head-block queries.
@@ -239,7 +321,7 @@ func (e *Engine) attnBatchSharded(c *mesh.Chip, st *chipState, layer int, qLocal
 	}
 	qMine := tensor.ConcatCols(headBlocks...) // [rowsPC, H·dh]
 
-	outMine := reference.Attend(e.cfg.HeadDim, qMine, st.cache, layer, seqsPC, steps, past)
+	outMine := appendAndAttend(e.cfg.HeadDim, qMine, st.cache, layer, seqsPC, steps, localActive, kMine, vMine)
 
 	// All-to-all #2: return each head block to its owner.
 	headW := qLocal.Cols

@@ -160,8 +160,10 @@ func (e *Engine) gatherLayer(c *mesh.Chip, st *chipState, ws *wgLayerShards) gat
 
 // forwardWG runs the token-sharded weight-gathered pass: each chip owns
 // batch/n sequences end to end; the only cross-chip traffic is the per-layer
-// weight gather (plus nothing for activations).
-func (e *Engine) forwardWG(tokens []int, steps int) *tensor.Mat {
+// weight gather (plus nothing for activations). A non-nil active mask
+// (steps == 1) zeroes inactive slots: no embedding, no K/V append, zero
+// attention output.
+func (e *Engine) forwardWG(tokens []int, steps int, active []bool) *tensor.Mat {
 	n := e.m.Chips()
 	seqsPC := e.batch / n
 	rowsPC := seqsPC * steps
@@ -170,11 +172,17 @@ func (e *Engine) forwardWG(tokens []int, steps int) *tensor.Mat {
 	e.m.Run(func(c *mesh.Chip) {
 		st := e.chips[c.Rank]
 		ws := st.wg
-		past := st.cache.Len
+		var localActive []bool
+		if active != nil {
+			localActive = active[c.Rank*seqsPC : (c.Rank+1)*seqsPC]
+		}
 
 		// Embed this chip's sequences only.
 		x := tensor.New(rowsPC, e.cfg.DModel)
 		for i := 0; i < rowsPC; i++ {
+			if localActive != nil && !localActive[i/steps] {
+				continue // inactive slot: zero row
+			}
 			tok := tokens[c.Rank*rowsPC+i]
 			if tok < 0 || tok >= vocab {
 				panic("engine: token out of vocab")
@@ -187,17 +195,25 @@ func (e *Engine) forwardWG(tokens []int, steps int) *tensor.Mat {
 			g := e.gatherLayer(c, st, ls)
 			if e.cfg.ParallelBlock {
 				h := tensor.RMSNorm(x, ls.normGain, 1e-6)
-				attnY := wgAttention(e, st, g, h, l, seqsPC, steps, past)
+				attnY := wgAttention(e, st, g, h, l, seqsPC, steps, localActive)
 				ffnY := wgFFN(e.cfg, g, h)
 				x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
 			} else {
 				h := tensor.RMSNorm(x, ls.normGain, 1e-6)
-				x = tensor.AddInPlace(x, wgAttention(e, st, g, h, l, seqsPC, steps, past))
+				x = tensor.AddInPlace(x, wgAttention(e, st, g, h, l, seqsPC, steps, localActive))
 				h2 := tensor.RMSNorm(x, ls.ffnNormGain, 1e-6)
 				x = tensor.AddInPlace(x, wgFFN(e.cfg, g, h2))
 			}
 		}
-		st.cache.Advance(steps)
+		if localActive == nil {
+			st.cache.Advance(steps)
+		} else {
+			for s, a := range localActive {
+				if a {
+					st.cache.AdvanceSeq(s, steps)
+				}
+			}
+		}
 
 		final := tensor.RMSNorm(x, st.finalGain, 1e-6)
 		blocks[c.Rank] = tensor.MatMulT(final, ws.fullEmbed)
@@ -207,12 +223,11 @@ func (e *Engine) forwardWG(tokens []int, steps int) *tensor.Mat {
 	return tensor.ConcatRows(blocks...)
 }
 
-func wgAttention(e *Engine, st *chipState, g gathered, h *tensor.Mat, layer, seqsPC, steps, past int) *tensor.Mat {
+func wgAttention(e *Engine, st *chipState, g gathered, h *tensor.Mat, layer, seqsPC, steps int, active []bool) *tensor.Mat {
 	q := tensor.MatMul(h, g.q)
 	k := tensor.MatMul(h, g.k)
 	v := tensor.MatMul(h, g.v)
-	st.cache.Append(layer, k, v, steps)
-	out := reference.Attend(e.cfg.HeadDim, q, st.cache, layer, seqsPC, steps, past)
+	out := appendAndAttend(e.cfg.HeadDim, q, st.cache, layer, seqsPC, steps, active, k, v)
 	return tensor.MatMul(out, g.o)
 }
 

@@ -3,6 +3,14 @@
 // paper's attention analysis: its per-chip footprint under head- versus
 // batch-sharding is what decides maximum context length (Table 1) and
 // decode memory time (Figure 8).
+//
+// The cache is organized as fixed-capacity *slots*, one per sequence, each
+// with its own filled length. A static batch fills every slot in lockstep
+// (Append/Advance); a continuous-batching scheduler instead allocates a
+// slot per admitted request (Alloc), grows it independently
+// (AppendSeq/AdvanceSeq), and releases it on completion (Release) so the
+// next queued request can reuse the storage — the iteration-level reuse
+// that keeps the decode batch full under heavy traffic.
 package kvcache
 
 import (
@@ -12,22 +20,28 @@ import (
 )
 
 // Cache holds K and V for every layer over a fixed capacity of positions.
-// Rows are (sequence, position)-major: row = seq*MaxLen + pos. The batch
+// Rows are (slot, position)-major: row = slot*MaxLen + pos. The slot
 // dimension here is whatever slice of the logical batch the owner holds —
 // the whole batch on the reference model, a shard on a batch-sharded chip.
 type Cache struct {
 	Layers  int
-	Seqs    int // sequences held by this cache (logical batch or a shard)
-	MaxLen  int // capacity in positions per sequence
+	Seqs    int // slots held by this cache (logical batch or a shard)
+	MaxLen  int // capacity in positions per slot
 	KVWidth int // KV heads × head dim
-	Len     int // positions currently filled (uniform across sequences)
+
+	lens []int  // positions currently filled, per slot
+	used []bool // advisory slot-allocation map (Alloc/Release)
 
 	K, V []*tensor.Mat // per layer: [Seqs*MaxLen, KVWidth]
 }
 
-// New allocates an empty cache.
+// New allocates an empty cache. All slots start free and zero-length.
 func New(layers, seqs, maxLen, kvWidth int) *Cache {
-	c := &Cache{Layers: layers, Seqs: seqs, MaxLen: maxLen, KVWidth: kvWidth}
+	c := &Cache{
+		Layers: layers, Seqs: seqs, MaxLen: maxLen, KVWidth: kvWidth,
+		lens: make([]int, seqs),
+		used: make([]bool, seqs),
+	}
 	c.K = make([]*tensor.Mat, layers)
 	c.V = make([]*tensor.Mat, layers)
 	for l := 0; l < layers; l++ {
@@ -37,43 +51,160 @@ func New(layers, seqs, maxLen, kvWidth int) *Cache {
 	return c
 }
 
-// Append writes `steps` new positions for every sequence into layer l.
-// k and v are [Seqs*steps, KVWidth], sequence-major. The caller advances the
-// shared length once per layer sweep via Advance.
+func (c *Cache) checkSlot(s int) {
+	if s < 0 || s >= c.Seqs {
+		panic(fmt.Sprintf("kvcache: slot %d out of range [0,%d)", s, c.Seqs))
+	}
+}
+
+// SeqLen returns the filled length of slot s.
+func (c *Cache) SeqLen(s int) int {
+	c.checkSlot(s)
+	return c.lens[s]
+}
+
+// Len returns the maximum filled length over all slots. For the lockstep
+// (static-batch) usage every slot has the same length, so this is "the"
+// cache length; slot-based callers should use SeqLen.
+func (c *Cache) Len() int {
+	max := 0
+	for _, l := range c.lens {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Append writes `steps` new positions for every slot into layer l, each at
+// that slot's current length. k and v are [Seqs*steps, KVWidth],
+// slot-major. The caller commits the lengths once per layer sweep via
+// Advance.
 func (c *Cache) Append(l int, k, v *tensor.Mat, steps int) {
 	if k.Rows != c.Seqs*steps || k.Cols != c.KVWidth {
 		panic(fmt.Sprintf("kvcache: append shape %dx%d, want %dx%d",
 			k.Rows, k.Cols, c.Seqs*steps, c.KVWidth))
 	}
-	if c.Len+steps > c.MaxLen {
-		panic(fmt.Sprintf("kvcache: overflow: %d+%d > capacity %d", c.Len, steps, c.MaxLen))
+	for s := 0; s < c.Seqs; s++ {
+		c.appendAt(l, s, k, v, s*steps, steps)
+	}
+}
+
+// AppendSeq writes `steps` new positions for slot s only into layer l.
+// k and v are [steps, KVWidth]. Commit with AdvanceSeq after all layers.
+func (c *Cache) AppendSeq(l, s int, k, v *tensor.Mat, steps int) {
+	c.checkSlot(s)
+	if k.Rows != steps || k.Cols != c.KVWidth {
+		panic(fmt.Sprintf("kvcache: append shape %dx%d, want %dx%d",
+			k.Rows, k.Cols, steps, c.KVWidth))
+	}
+	c.appendAt(l, s, k, v, 0, steps)
+}
+
+// appendAt copies `steps` rows of k/v starting at source row `src` into
+// slot s of layer l at the slot's current length.
+func (c *Cache) appendAt(l, s int, k, v *tensor.Mat, src, steps int) {
+	if c.lens[s]+steps > c.MaxLen {
+		panic(fmt.Sprintf("kvcache: slot %d overflow: %d+%d > capacity %d",
+			s, c.lens[s], steps, c.MaxLen))
+	}
+	for t := 0; t < steps; t++ {
+		dst := s*c.MaxLen + c.lens[s] + t
+		copy(c.K[l].Row(dst), k.Row(src+t))
+		copy(c.V[l].Row(dst), v.Row(src+t))
+	}
+}
+
+// Advance commits `steps` appended positions on every slot after all
+// layers have written.
+func (c *Cache) Advance(steps int) {
+	for s := 0; s < c.Seqs; s++ {
+		if c.lens[s]+steps > c.MaxLen {
+			panic("kvcache: advance past capacity")
+		}
 	}
 	for s := 0; s < c.Seqs; s++ {
-		for t := 0; t < steps; t++ {
-			dst := s*c.MaxLen + c.Len + t
-			src := s*steps + t
-			copy(c.K[l].Row(dst), k.Row(src))
-			copy(c.V[l].Row(dst), v.Row(src))
+		c.lens[s] += steps
+	}
+}
+
+// AdvanceSeq commits `steps` appended positions on slot s.
+func (c *Cache) AdvanceSeq(s, steps int) {
+	c.checkSlot(s)
+	if c.lens[s]+steps > c.MaxLen {
+		panic("kvcache: advance past capacity")
+	}
+	c.lens[s] += steps
+}
+
+// Alloc finds a free slot, marks it in use, and returns it. The second
+// return is false when every slot is occupied.
+func (c *Cache) Alloc() (int, bool) {
+	for s := 0; s < c.Seqs; s++ {
+		if !c.used[s] {
+			c.used[s] = true
+			c.lens[s] = 0
+			return s, true
+		}
+	}
+	return -1, false
+}
+
+// Release evicts slot s: its length is reset, its storage zeroed (so stale
+// K/V from the previous occupant can never leak into a new sequence), and
+// the slot returns to the free pool.
+func (c *Cache) Release(s int) {
+	c.checkSlot(s)
+	c.ResetSeq(s)
+	c.used[s] = false
+}
+
+// InUse reports whether slot s is currently allocated.
+func (c *Cache) InUse(s int) bool {
+	c.checkSlot(s)
+	return c.used[s]
+}
+
+// FreeSlots counts unallocated slots.
+func (c *Cache) FreeSlots() int {
+	n := 0
+	for _, u := range c.used {
+		if !u {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetSeq empties slot s and zeroes its rows in every layer without
+// touching neighboring slots.
+func (c *Cache) ResetSeq(s int) {
+	c.checkSlot(s)
+	c.lens[s] = 0
+	for l := 0; l < c.Layers; l++ {
+		for t := 0; t < c.MaxLen; t++ {
+			zero(c.K[l].Row(s*c.MaxLen + t))
+			zero(c.V[l].Row(s*c.MaxLen + t))
 		}
 	}
 }
 
-// Advance commits `steps` appended positions after all layers have written.
-func (c *Cache) Advance(steps int) {
-	if c.Len+steps > c.MaxLen {
-		panic("kvcache: advance past capacity")
+func zero(row []float32) {
+	for i := range row {
+		row[i] = 0
 	}
-	c.Len += steps
 }
 
-// Keys returns the filled K rows of sequence s in layer l: [Len, KVWidth].
+// Keys returns the filled K rows of slot s in layer l: [SeqLen(s), KVWidth].
 func (c *Cache) Keys(l, s int) *tensor.Mat {
-	return tensor.SliceRows(c.K[l], s*c.MaxLen, s*c.MaxLen+c.Len)
+	c.checkSlot(s)
+	return tensor.SliceRows(c.K[l], s*c.MaxLen, s*c.MaxLen+c.lens[s])
 }
 
-// Values returns the filled V rows of sequence s in layer l.
+// Values returns the filled V rows of slot s in layer l.
 func (c *Cache) Values(l, s int) *tensor.Mat {
-	return tensor.SliceRows(c.V[l], s*c.MaxLen, s*c.MaxLen+c.Len)
+	c.checkSlot(s)
+	return tensor.SliceRows(c.V[l], s*c.MaxLen, s*c.MaxLen+c.lens[s])
 }
 
 // Bytes is the allocated footprint (float32 storage).
@@ -81,10 +212,21 @@ func (c *Cache) Bytes() int {
 	return 2 * c.Layers * c.Seqs * c.MaxLen * c.KVWidth * 4
 }
 
-// UsedBytes is the footprint of filled positions only.
+// UsedBytes is the footprint of filled positions only, summed over slots.
 func (c *Cache) UsedBytes() int {
-	return 2 * c.Layers * c.Seqs * c.Len * c.KVWidth * 4
+	total := 0
+	for _, l := range c.lens {
+		total += l
+	}
+	return 2 * c.Layers * total * c.KVWidth * 4
 }
 
-// Reset empties the cache without reallocating.
-func (c *Cache) Reset() { c.Len = 0 }
+// Reset empties the cache without reallocating: every slot becomes free
+// and zero-length. Storage is not zeroed (use ResetSeq/Release for
+// eviction hygiene on live slots).
+func (c *Cache) Reset() {
+	for s := 0; s < c.Seqs; s++ {
+		c.lens[s] = 0
+		c.used[s] = false
+	}
+}

@@ -135,17 +135,16 @@ func (m *Model) forward(tokens []int, steps int) *tensor.Mat {
 		copy(x.Row(i), m.W.Embed.Row(tok))
 	}
 
-	past := m.Cache.Len
 	for l := range m.W.Layers {
 		lw := &m.W.Layers[l]
 		if cfg.ParallelBlock {
 			h := tensor.RMSNorm(x, lw.NormGain, 1e-6)
-			attnY := m.attention(l, lw, h, steps, past)
+			attnY := m.attention(l, lw, h, steps)
 			ffnY := ffn(cfg, lw, h)
 			x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
 		} else {
 			h := tensor.RMSNorm(x, lw.NormGain, 1e-6)
-			x = tensor.AddInPlace(x, m.attention(l, lw, h, steps, past))
+			x = tensor.AddInPlace(x, m.attention(l, lw, h, steps))
 			h2 := tensor.RMSNorm(x, lw.FFNNormGain, 1e-6)
 			x = tensor.AddInPlace(x, ffn(cfg, lw, h2))
 		}
@@ -156,16 +155,16 @@ func (m *Model) forward(tokens []int, steps int) *tensor.Mat {
 	return tensor.MatMulT(final, m.W.Embed)
 }
 
-// attention computes the attention sub-block for `steps` new positions with
-// `past` cached positions, appending the new K/V to layer l's cache.
-func (m *Model) attention(l int, lw *LayerWeights, h *tensor.Mat, steps, past int) *tensor.Mat {
+// attention computes the attention sub-block for `steps` new positions,
+// appending the new K/V to layer l's cache.
+func (m *Model) attention(l int, lw *LayerWeights, h *tensor.Mat, steps int) *tensor.Mat {
 	cfg := m.W.Cfg
 	q := tensor.MatMul(h, lw.WQ)
 	k := tensor.MatMul(h, lw.WK)
 	v := tensor.MatMul(h, lw.WV)
 	m.Cache.Append(l, k, v, steps)
 
-	out := Attend(cfg.HeadDim, q, m.Cache, l, m.batch, steps, past)
+	out := Attend(cfg.HeadDim, q, m.Cache, l, m.batch, steps)
 	return tensor.MatMul(out, lw.WO)
 }
 
@@ -175,42 +174,57 @@ func (m *Model) attention(l int, lw *LayerWeights, h *tensor.Mat, steps, past in
 // head mapping is derived from the *local* widths, so it works equally for
 // the full tensor (reference), a head shard with matching KV columns (MHA
 // head-sharded), and a batch shard against the shared multiquery head. q is
-// [seqs·steps, localHeads·dh] sequence-major; the cache holds `past+steps`
-// valid positions once the caller appended the new K/V (cache.Len still
-// reports `past`; this function reads past+steps rows).
-func Attend(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, seqs, steps, past int) *tensor.Mat {
+// [seqs·steps, localHeads·dh] sequence-major; query block s attends against
+// cache slot s. Each slot's `past` is its own SeqLen (Append writes the new
+// K/V without advancing it), so slots at different depths — the
+// continuous-batching case — are handled with no extra bookkeeping.
+func Attend(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, seqs, steps int) *tensor.Mat {
+	out := tensor.New(q.Rows, q.Cols)
+	for s := 0; s < seqs; s++ {
+		qs := tensor.SliceRows(q, s*steps, (s+1)*steps)
+		oh := AttendSeq(dh, qs, cache, layer, s, steps)
+		copy(out.Data[s*steps*q.Cols:(s+1)*steps*q.Cols], oh.Data)
+	}
+	return out
+}
+
+// AttendSeq computes masked attention of a single sequence's queries
+// ([steps, localHeads·dh]) against cache slot `slot`, whose K/V already
+// contain the `steps` new positions beyond the committed SeqLen. It is the
+// per-slot primitive behind Attend, exported so the engine's slot-admission
+// path can attend a query block against an arbitrary cache slot.
+func AttendSeq(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, slot, steps int) *tensor.Mat {
 	heads := q.Cols / dh
 	kvHeads := cache.KVWidth / dh
 	headsPerKV := heads / kvHeads
+	past := cache.SeqLen(slot)
 	total := past + steps
 	inv := float32(1 / math.Sqrt(float64(dh)))
 
-	out := tensor.New(q.Rows, q.Cols)
-	for s := 0; s < seqs; s++ {
-		kRows := tensor.SliceRows(cache.K[layer], s*cache.MaxLen, s*cache.MaxLen+total)
-		vRows := tensor.SliceRows(cache.V[layer], s*cache.MaxLen, s*cache.MaxLen+total)
-		for hIdx := 0; hIdx < heads; hIdx++ {
-			kvIdx := hIdx / headsPerKV
-			qh := tensor.New(steps, dh)
-			for t := 0; t < steps; t++ {
-				copy(qh.Row(t), q.Row(s*steps + t)[hIdx*dh:(hIdx+1)*dh])
+	kRows := tensor.SliceRows(cache.K[layer], slot*cache.MaxLen, slot*cache.MaxLen+total)
+	vRows := tensor.SliceRows(cache.V[layer], slot*cache.MaxLen, slot*cache.MaxLen+total)
+	out := tensor.New(steps, q.Cols)
+	for hIdx := 0; hIdx < heads; hIdx++ {
+		kvIdx := hIdx / headsPerKV
+		qh := tensor.New(steps, dh)
+		for t := 0; t < steps; t++ {
+			copy(qh.Row(t), q.Row(t)[hIdx*dh:(hIdx+1)*dh])
+		}
+		kh := tensor.SliceCols(kRows, kvIdx*dh, (kvIdx+1)*dh)
+		vh := tensor.SliceCols(vRows, kvIdx*dh, (kvIdx+1)*dh)
+		scores := tensor.Scale(tensor.MatMulT(qh, kh), inv)
+		// Causal mask: query at absolute position past+t sees keys
+		// 0..past+t.
+		for t := 0; t < steps; t++ {
+			row := scores.Row(t)
+			for j := past + t + 1; j < total; j++ {
+				row[j] = float32(math.Inf(-1))
 			}
-			kh := tensor.SliceCols(kRows, kvIdx*dh, (kvIdx+1)*dh)
-			vh := tensor.SliceCols(vRows, kvIdx*dh, (kvIdx+1)*dh)
-			scores := tensor.Scale(tensor.MatMulT(qh, kh), inv)
-			// Causal mask: query at absolute position past+t sees keys
-			// 0..past+t.
-			for t := 0; t < steps; t++ {
-				row := scores.Row(t)
-				for j := past + t + 1; j < total; j++ {
-					row[j] = float32(math.Inf(-1))
-				}
-			}
-			tensor.SoftmaxRows(scores)
-			oh := tensor.MatMul(scores, vh)
-			for t := 0; t < steps; t++ {
-				copy(out.Row(s*steps + t)[hIdx*dh:(hIdx+1)*dh], oh.Row(t))
-			}
+		}
+		tensor.SoftmaxRows(scores)
+		oh := tensor.MatMul(scores, vh)
+		for t := 0; t < steps; t++ {
+			copy(out.Row(t)[hIdx*dh:(hIdx+1)*dh], oh.Row(t))
 		}
 	}
 	return out

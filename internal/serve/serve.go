@@ -129,6 +129,12 @@ type SimResult struct {
 // perf results, scaled down for partial batches only in occupancy, not
 // time (a half-empty batch wastes the idle slots, as in real serving).
 func Simulate(c Config, nRequests int, interarrival float64) (SimResult, error) {
+	if nRequests < 1 {
+		return SimResult{}, fmt.Errorf("serve: %d requests to simulate", nRequests)
+	}
+	if interarrival < 0 || math.IsNaN(interarrival) {
+		return SimResult{}, fmt.Errorf("serve: invalid interarrival %g", interarrival)
+	}
 	m, err := Analyze(c)
 	if err != nil {
 		return SimResult{}, err

@@ -225,6 +225,168 @@ func TestTune(t *testing.T) {
 	}
 }
 
+// Analyze must reject every degenerate workload or tier shape with an
+// error rather than returning nonsense metrics.
+func TestAnalyzeErrorPaths(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero gen", func(c *Config) { c.Gen = 0 }},
+		{"negative gen", func(c *Config) { c.Gen = -5 }},
+		{"negative context", func(c *Config) { c.Context = -1 }},
+		{"zero prefill batch", func(c *Config) { c.Prefill.Batch = 0 }},
+		{"zero decode batch", func(c *Config) { c.Decode.Batch = 0 }},
+		{"prefill tier OOM", func(c *Config) { c.Prefill.System = hardware.TPUv4Slice(1, 1, 1) }},
+		{"decode tier OOM", func(c *Config) {
+			c.Decode.Attn = partition.AttnShardHeads
+			c.Context = 8192
+			c.Decode.Batch = 512
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := paperConfig()
+			tc.mutate(&c)
+			if _, err := Analyze(c); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+// Bottleneck identification over tier-batch pairings: at the paper's 32:1
+// input:output token ratio the prefill tier binds unless the decode batch
+// is starved.
+func TestBottleneckTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		pb, db int
+		want   string
+	}{
+		{"paper pairing", 1, 64, "prefill"},
+		{"batched prefill", 16, 64, "prefill"},
+		{"huge decode batch", 1, 256, "prefill"},
+		{"starved decode", 16, 4, "decode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := paperConfig()
+			c.Prefill.Batch = tc.pb
+			c.Decode.Batch = tc.db
+			m, err := Analyze(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Bottleneck != tc.want {
+				t.Errorf("bottleneck = %s, want %s", m.Bottleneck, tc.want)
+			}
+			wantRate := m.PrefillRate
+			if tc.want == "decode" {
+				wantRate = m.DecodeRate
+			}
+			if m.Throughput != wantRate {
+				t.Errorf("throughput %.3f != %s rate %.3f", m.Throughput, tc.want, wantRate)
+			}
+		})
+	}
+}
+
+// Simulate must reject degenerate run parameters instead of panicking or
+// dividing by zero.
+func TestSimulateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name         string
+		mutate       func(*Config)
+		nRequests    int
+		interarrival float64
+	}{
+		{"zero requests", nil, 0, 1.0},
+		{"negative requests", nil, -3, 1.0},
+		{"negative interarrival", nil, 10, -0.5},
+		{"NaN interarrival", nil, 10, math.NaN()},
+		{"zero gen config", func(c *Config) { c.Gen = 0 }, 10, 1.0},
+		{"zero decode batch", func(c *Config) { c.Decode.Batch = 0 }, 10, 1.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := paperConfig()
+			if tc.mutate != nil {
+				tc.mutate(&c)
+			}
+			if _, err := Simulate(c, tc.nRequests, tc.interarrival); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+// A single request and zero interarrival are valid edge shapes: one batch
+// through each tier, latency = MinLatency.
+func TestSimulateSingleRequest(t *testing.T) {
+	c := paperConfig()
+	m, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(c, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if math.Abs(res.MeanLatency-m.MinLatency) > 1e-9 {
+		t.Errorf("single-request latency %.3f != min latency %.3f", res.MeanLatency, m.MinLatency)
+	}
+	if res.P50 != res.P99 {
+		t.Error("percentiles of one sample must coincide")
+	}
+}
+
+// Tune edge cases: impossible SLOs find nothing, infeasible configs find
+// nothing, and the search respects its bounds.
+func TestTuneDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		slo    float64
+		wantOK bool
+	}{
+		{"paper SLO", nil, 2.5, true},
+		{"unbounded SLO", nil, math.Inf(1), true},
+		{"impossible SLO", nil, 0.01, false},
+		{"zero SLO", nil, 0, false},
+		{"zero gen never analyzes", func(c *Config) { c.Gen = 0 }, 30, false},
+		{"tiers always OOM", func(c *Config) {
+			c.Prefill.System = hardware.TPUv4Slice(1, 1, 1)
+			c.Decode.System = hardware.TPUv4Slice(1, 1, 1)
+		}, 30, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := paperConfig()
+			if tc.mutate != nil {
+				tc.mutate(&c)
+			}
+			res, ok := Tune(c, tc.slo)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if ok {
+				if res.PrefillBatch < 1 || res.PrefillBatch > 64 ||
+					res.DecodeBatch < 4 || res.DecodeBatch > 512 {
+					t.Errorf("tuned batches %d/%d out of search bounds",
+						res.PrefillBatch, res.DecodeBatch)
+				}
+				if res.Metrics.MinLatency > tc.slo {
+					t.Errorf("latency %.2f violates SLO %.2f", res.Metrics.MinLatency, tc.slo)
+				}
+			}
+		})
+	}
+}
+
 func TestMetricsArithmetic(t *testing.T) {
 	m, err := Analyze(paperConfig())
 	if err != nil {
