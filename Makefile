@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: test bench fuzz build
+# 10s per fuzz target in CI and `make ci`; raise locally for deeper runs.
+FUZZTIME ?= 10s
+
+.PHONY: test bench fuzz build ci fuzz-smoke bench-json fmt-check
 
 # Tier-1 verification plus race detection in one command.
 test:
@@ -17,3 +20,38 @@ bench:
 # Hammer the per-slot KV-cache invariants beyond the seeded corpus.
 fuzz:
 	$(GO) test ./internal/kvcache -run='^$$' -fuzz=FuzzSlotIsolation -fuzztime=30s
+
+# Fail if any file needs gofmt.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Short fuzz pass over every seeded fuzz target (one `go test -fuzz` run
+# per package, as the fuzzer requires).
+fuzz-smoke:
+	$(GO) test ./internal/kvcache  -run='^$$' -fuzz=FuzzSlotIsolation    -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/quant    -run='^$$' -fuzz=FuzzQuantizeRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sampling -run='^$$' -fuzz=FuzzFilterTopKP      -fuzztime=$(FUZZTIME)
+
+# Run the benchmarks once and convert the output to the benchstat-
+# compatible JSON trajectory artifact CI uploads. No pipe: a benchmark
+# failure must fail this target (and CI), not vanish into a tee.
+bench-json:
+	@$(GO) test -bench=. -benchmem -run='^$$' . > bench_ci.txt || \
+		{ cat bench_ci.txt; rm -f bench_ci.txt; exit 1; }
+	@cat bench_ci.txt
+	$(GO) run ./cmd/benchjson < bench_ci.txt > BENCH_ci.json
+	@rm -f bench_ci.txt
+	@echo "wrote BENCH_ci.json"
+
+# Mirror of .github/workflows/ci.yml so contributors can reproduce CI
+# locally before pushing: build, vet, gofmt, race tests, fuzz smoke, bench
+# artifact.
+ci: build
+	$(GO) vet ./...
+	$(MAKE) fmt-check
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+	$(MAKE) bench-json

@@ -273,6 +273,77 @@ func BenchmarkContinuousBatching(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefixCachedReplay measures the prefix-aware scheduler replaying
+// a 200-request shared-system-prompt trace with chunked prefill — the
+// template-heavy serving path whose useful-tok/s win over the uncached
+// replay is asserted in internal/batching's CompareNoCache tests.
+func BenchmarkPrefixCachedReplay(b *testing.B) {
+	c := batching.Config{
+		Model:        model.PaLM540BPadded(),
+		Weights:      model.Int8,
+		System:       hardware.TPUv4Slice(4, 4, 4),
+		FFN:          partition.FFN2DWeightStationary,
+		Attn:         partition.AttnShardBatch,
+		Slots:        64,
+		MaxLen:       2048 + 256,
+		MaxAdmit:     4,
+		PrefixCache:  true,
+		PrefillChunk: 256,
+		Knobs:        knobs(),
+	}
+	trace := batching.SharedPrefixTrace(200, 0.01, 1792, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := batching.Simulate(c, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Templates warm only when their seeding prefill completes, so
+		// under chunking some same-template admissions land in the seeding
+		// window and miss honestly; the exact split is deterministic but
+		// load-shaped, so assert the invariants rather than the number.
+		if res.Completed != 200 || res.PrefixHits+res.PrefixMisses != 200 {
+			b.Fatalf("completed %d, hits %d + misses %d", res.Completed, res.PrefixHits, res.PrefixMisses)
+		}
+		if res.PrefixHits < 100 || res.CachedTokens != res.PrefixHits*1792 {
+			b.Fatalf("hits %d, cached tokens %d", res.PrefixHits, res.CachedTokens)
+		}
+	}
+}
+
+// BenchmarkEnginePrefixAdmission measures one cached admission on the
+// functional engine: acquire the cached system prompt, attach it, prefill
+// only the two-token suffix, release the slot.
+func BenchmarkEnginePrefixAdmission(b *testing.B) {
+	cfg := model.Config{
+		Name: "bench", Layers: 2, DModel: 64, DFF: 128,
+		Heads: 8, HeadDim: 8, KVHeads: 1, Attn: model.Multiquery,
+		FFNKind: model.SwiGLU, ParallelBlock: true, Vocab: 64,
+	}
+	w := reference.NewWeights(cfg, 1)
+	eng, err := engine.New(w, hardware.Torus{X: 2, Y: 2, Z: 2}, engine.Options{
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+	}, 8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.EnablePrefixCache(0)
+	system := []int{1, 2, 3, 4, 5}
+	eng.PrefillSlot(0, system)
+	if err := eng.CachePrefix(0, system); err != nil {
+		b.Fatal(err)
+	}
+	eng.ReleaseSlot(0)
+	prompt := append(append([]int(nil), system...), 6, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cached := eng.PrefillSlotCached(0, prompt, len(system)); cached != len(system) {
+			b.Fatalf("cached %d tokens", cached)
+		}
+		eng.ReleaseSlot(0)
+	}
+}
+
 // BenchmarkEngineContinuousStep measures one variable-length DecodeSlots
 // step with a partially occupied batch on the functional engine. Slots are
 // released and re-prefilled (untimed) whenever the deepest one nears

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document of benchstat-compatible name/value pairs —
+// the per-commit perf-trajectory artifact CI uploads as BENCH_ci.json so
+// regressions in the paper-artifact regeneration and serving benchmarks
+// are visible across the repo's history.
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson > BENCH_ci.json
+//
+// Unparseable lines are ignored; the raw benchmark line is preserved per
+// entry so `benchstat` can be fed the reconstructed text exactly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name  string `json:"name"`
+	Procs int    `json:"procs"`
+	// Iterations is the b.N the timing was measured over.
+	Iterations int64 `json:"iterations"`
+	// Values holds the name/value pairs benchstat consumes: unit -> value
+	// (ns/op always; B/op and allocs/op under -benchmem; any custom
+	// b.ReportMetric units pass through).
+	Values map[string]float64 `json:"values"`
+	Raw    string             `json:"raw"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parse(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse decodes one result line:
+//
+//	BenchmarkName-8   124   9612345 ns/op   1234 B/op   56 allocs/op
+func parse(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name: name, Procs: procs, Iterations: iters,
+		Values: map[string]float64{}, Raw: line,
+	}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Values[fields[i+1]] = v
+	}
+	if _, ok := b.Values["ns/op"]; !ok {
+		return Benchmark{}, false
+	}
+	return b, true
+}

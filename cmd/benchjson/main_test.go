@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parse("BenchmarkPrefixCachedReplay-8   124   9612345 ns/op   1234 B/op   56 allocs/op")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if b.Name != "BenchmarkPrefixCachedReplay" || b.Procs != 8 || b.Iterations != 124 {
+		t.Fatalf("header fields: %+v", b)
+	}
+	for unit, want := range map[string]float64{"ns/op": 9612345, "B/op": 1234, "allocs/op": 56} {
+		if got := b.Values[unit]; got != want {
+			t.Errorf("%s = %g, want %g", unit, got, want)
+		}
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	b, ok := parse("BenchmarkFig1Decode-16 7 160000 ns/op")
+	if !ok || b.Procs != 16 || b.Values["ns/op"] != 160000 {
+		t.Fatalf("parse = %+v, %v", b, ok)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-8",
+		"BenchmarkBroken-8 not-a-number 5 ns/op",
+		"BenchmarkBroken-8 5 12 bogus-without-ns",
+		"PASS",
+	} {
+		if _, ok := parse(line); ok {
+			t.Errorf("parsed garbage line %q", line)
+		}
+	}
+}

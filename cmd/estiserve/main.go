@@ -16,6 +16,16 @@
 // tuned static pipeline:
 //
 //	estiserve -model palm540b -continuous -requests 200 -slots 64
+//
+// With -prefix-cache, the pool serves a shared-system-prompt trace
+// (-prefix-len tokens shared across -templates templates) twice — prefix
+// cache on and off — to show the useful-tok/s win of skipping recomputed
+// template prefills; -prefill-chunk bounds the prompt tokens prefilled per
+// iteration so long cold prompts stop stalling running decodes, and
+// -prefix-hit feeds the same knob into the static pipeline's analytic
+// model:
+//
+//	estiserve -model palm540b -prefix-cache -prefill-chunk 256 -requests 200
 package main
 
 import (
@@ -47,6 +57,11 @@ func main() {
 	slots := flag.Int("slots", 64, "continuous batching: concurrent KV-cache slots")
 	maxAdmit := flag.Int("max-admit", 4, "continuous batching: admissions per iteration (0 = unlimited)")
 	seed := flag.Int64("seed", 1, "continuous batching: trace seed")
+	prefixCache := flag.Bool("prefix-cache", false, "continuous batching: serve a shared-system-prompt trace and compare prefix cache on vs off")
+	prefixLen := flag.Int("prefix-len", 1792, "shared prompt prefix length in tokens (with -prefix-cache / -prefix-hit)")
+	templates := flag.Int("templates", 3, "distinct prompt templates in the shared-prefix trace")
+	prefillChunk := flag.Int("prefill-chunk", 0, "continuous batching: prefill token budget per iteration (0 = whole prompt at admission)")
+	prefixHit := flag.Float64("prefix-hit", 0, "static pipeline: fraction of requests whose prefix-len tokens hit a shared-prefix cache")
 	flag.Parse()
 
 	cfg, ok := modelByName(*modelName)
@@ -72,9 +87,14 @@ func main() {
 			Batch:  *decBatch,
 			FFN:    partition.FFN2DWeightStationary, Attn: decodeAttn(cfg),
 		},
-		Context: *context,
-		Gen:     *gen,
-		Knobs:   perf.DefaultKnobs(),
+		Context:       *context,
+		Gen:           *gen,
+		PrefixHitRate: *prefixHit,
+		PrefixLen:     *prefixLen,
+		Knobs:         perf.DefaultKnobs(),
+	}
+	if *prefixHit == 0 {
+		sc.PrefixLen = 0
 	}
 	// Large prefill batches prefer weight-gathered layouts.
 	if *preBatch**context > 100000 {
@@ -109,7 +129,7 @@ func main() {
 			res.Throughput, res.PrefillBusyFrac*100, res.DecodeBusyFrac*100)
 	}
 
-	if *continuous {
+	if *continuous || *prefixCache {
 		n := *requests
 		if n < 2 {
 			n = 200
@@ -117,31 +137,54 @@ func main() {
 		totalChips := *preChips + *decChips
 		inter := 1 / (m.Throughput * *load)
 		trace := batching.ChatbotTrace(n, inter, *seed)
+		if *prefixCache {
+			trace = batching.SharedPrefixTrace(n, inter, *prefixLen, *templates, *seed)
+		}
 		bc := batching.Config{
-			Model:    cfg,
-			Weights:  dt,
-			System:   hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(totalChips)),
-			FFN:      partition.FFN2DWeightStationary,
-			Attn:     decodeAttn(cfg),
-			Slots:    *slots,
-			MaxLen:   trace.MaxContext() + trace.MaxGen(), // every request fits its slot
-			MaxAdmit: *maxAdmit,
-			Knobs:    perf.DefaultKnobs(),
+			Model:        cfg,
+			Weights:      dt,
+			System:       hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(totalChips)),
+			FFN:          partition.FFN2DWeightStationary,
+			Attn:         decodeAttn(cfg),
+			Slots:        *slots,
+			MaxLen:       trace.MaxContext() + trace.MaxGen(), // every request fits its slot
+			MaxAdmit:     *maxAdmit,
+			PrefillChunk: *prefillChunk,
+			Knobs:        perf.DefaultKnobs(),
 		}
-		cmp, err := batching.CompareStatic(bc, trace)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if *continuous {
+			cmp, err := batching.CompareStatic(bc, trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			cres := cmp.Continuous
+			fmt.Printf("\ncontinuous batching: %d chips as one pool, %d slots, mixed trace of %d requests:\n",
+				totalChips, *slots, n)
+			fmt.Printf("  useful throughput: %.1f tok/s continuous vs %.1f tok/s static two-tier (%.2fx)\n",
+				cmp.ContinuousTokensPerSec, cmp.StaticTokensPerSec, cmp.Speedup)
+			fmt.Printf("  static baseline tuned to prefill batch %d / decode batch %d (padded to %d ctx, %d gen)\n",
+				cmp.StaticTuned.PrefillBatch, cmp.StaticTuned.DecodeBatch, trace.MaxContext(), trace.MaxGen())
+			fmt.Printf("  occupancy %.0f%%, %d iterations; latency p50/p95/p99: %.2fs / %.2fs / %.2fs\n",
+				cres.MeanOccupancy*100, cres.Iterations, cres.P50, cres.P95, cres.P99)
 		}
-		cres := cmp.Continuous
-		fmt.Printf("\ncontinuous batching: %d chips as one pool, %d slots, mixed trace of %d requests:\n",
-			totalChips, *slots, n)
-		fmt.Printf("  useful throughput: %.1f tok/s continuous vs %.1f tok/s static two-tier (%.2fx)\n",
-			cmp.ContinuousTokensPerSec, cmp.StaticTokensPerSec, cmp.Speedup)
-		fmt.Printf("  static baseline tuned to prefill batch %d / decode batch %d (padded to %d ctx, %d gen)\n",
-			cmp.StaticTuned.PrefillBatch, cmp.StaticTuned.DecodeBatch, trace.MaxContext(), trace.MaxGen())
-		fmt.Printf("  occupancy %.0f%%, %d iterations; latency p50/p95/p99: %.2fs / %.2fs / %.2fs\n",
-			cres.MeanOccupancy*100, cres.Iterations, cres.P50, cres.P95, cres.P99)
+		if *prefixCache {
+			cmp, err := batching.CompareNoCache(bc, trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nprefix cache: %d-token shared prompts, %d templates over %d requests:\n",
+				*prefixLen, *templates, n)
+			fmt.Printf("  useful throughput: %.1f tok/s cached vs %.1f tok/s uncached (%.2fx)\n",
+				cmp.Cached.GenTokensPerSec, cmp.Uncached.GenTokensPerSec, cmp.Speedup)
+			fmt.Printf("  %d hits / %d misses; %d prompt tokens served from cache\n",
+				cmp.Cached.PrefixHits, cmp.Cached.PrefixMisses, cmp.Cached.CachedTokens)
+			if *prefillChunk > 0 {
+				fmt.Printf("  prefill chunk %d tokens/iteration: worst iteration %.3fs cached, %.3fs uncached\n",
+					*prefillChunk, cmp.Cached.MaxIterTime, cmp.Uncached.MaxIterTime)
+			}
+		}
 	}
 }
 

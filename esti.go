@@ -43,6 +43,12 @@
 //	res, _ := esti.SimulateContinuous(c, esti.ChatbotTrace(200, 0.05, 1))
 //	fmt.Printf("%.0f useful tok/s\n", res.GenTokensPerSec)
 //
+// Template-heavy traffic additionally reuses shared prompt prefixes
+// (ContinuousConfig.PrefixCache + SharedPrefixTrace + CompareNoCache) and
+// admits long cold prompts in bounded chunks (PrefillChunk); the
+// engine-level counterparts are engine.PrefillSlotFrom and
+// engine.PrefillSlotChunked, both token-exact against the cold path.
+//
 // See examples/ for runnable scenarios (examples/continuousbatch for the
 // serving comparison) and cmd/estibench for the paper's tables and figures.
 package esti
@@ -135,11 +141,31 @@ type (
 	RequestTrace = batching.Trace
 	// ServingComparison is the continuous-vs-static head-to-head.
 	ServingComparison = batching.Comparison
+	// CacheComparison is the prefix-cache-on-vs-off head-to-head.
+	CacheComparison = batching.CacheComparison
 )
 
 // ChatbotTrace builds a deterministic mixed-length chatbot workload.
 func ChatbotTrace(n int, interarrival float64, seed int64) RequestTrace {
 	return batching.ChatbotTrace(n, interarrival, seed)
+}
+
+// SharedPrefixTrace builds a template-heavy workload: every request opens
+// with one of `templates` shared prefixLen-token system prompts.
+func SharedPrefixTrace(n int, interarrival float64, prefixLen, templates int, seed int64) RequestTrace {
+	return batching.SharedPrefixTrace(n, interarrival, prefixLen, templates, seed)
+}
+
+// CompareNoCache replays the trace with the prefix cache on and off,
+// isolating the useful-token win of shared-prefix reuse.
+func CompareNoCache(c ContinuousConfig, t RequestTrace) (CacheComparison, error) {
+	return batching.CompareNoCache(c, t)
+}
+
+// PrefillWithPrefix costs a prefill whose leading prefixLen tokens hit a
+// shared-prefix cache with probability hitRate.
+func PrefillWithPrefix(r Request, k Knobs, hitRate float64, prefixLen int) Result {
+	return perf.PrefillExpected(r, k, hitRate, prefixLen)
 }
 
 // SimulateContinuous runs the iteration-level scheduler over a trace.

@@ -15,6 +15,15 @@
 // decode-step cost at the *actual* batch occupancy and mean context — no
 // padding to the longest sequence, which is exactly the waste the
 // comparison against package serve quantifies (CompareStatic).
+//
+// Two admission optimizations ride on top. Prefix caching
+// (Config.PrefixCache) lets requests that share a prompt template skip its
+// prefill after the template's first admission — the serving-layer view of
+// engine.PrefillSlotFrom — and CompareNoCache quantifies the useful-token
+// win on template-heavy traffic. Chunked prefill (Config.PrefillChunk)
+// admits long cold prompts in bounded per-iteration chunks interleaved
+// with decode steps, capping the decode-latency stall an arrival can
+// inflict on running sequences (Result.MaxIterTime).
 package batching
 
 import (
@@ -36,6 +45,14 @@ type Request struct {
 	Arrival float64
 	Context int
 	Gen     int
+	// Template identifies the shared prompt this request opens with (0 =
+	// none): its first PrefixLen tokens are identical across every request
+	// carrying the same Template — a system prompt or few-shot preamble.
+	// With Config.PrefixCache enabled, the first admission of a template
+	// prefills and caches those tokens and every later admission skips
+	// them, prefilling only its Context-PrefixLen suffix.
+	Template  int
+	PrefixLen int
 	// Filled by Simulate:
 	Admitted float64 // when the request entered a slot
 	Done     float64 // when its last token was generated
@@ -107,6 +124,36 @@ func ChatbotTrace(n int, interarrival float64, seed int64) Trace {
 	return Trace{Requests: reqs}
 }
 
+// SharedPrefixTrace builds a template-heavy chatbot workload: every request
+// opens with one of `templates` shared prefixLen-token system prompts and
+// appends a short user turn, the traffic shape of a production assistant
+// serving millions of users from a handful of prompt templates. Without
+// prefix caching each admission re-prefills the template; with it only the
+// first request per template pays, which CompareNoCache quantifies.
+func SharedPrefixTrace(n int, interarrival float64, prefixLen, templates int, seed int64) Trace {
+	if templates < 1 {
+		templates = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	suffixes := []int{32, 64, 128, 256}
+	sufWeights := []float64{0.3, 0.3, 0.25, 0.15}
+	gens := []int{16, 32, 64, 128}
+	genWeights := []float64{0.25, 0.35, 0.25, 0.15}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:        i,
+			Arrival:   float64(i) * interarrival,
+			Context:   prefixLen + suffixes[pick(rng, sufWeights)],
+			Gen:       gens[pick(rng, genWeights)],
+			Template:  1 + rng.Intn(templates),
+			PrefixLen: prefixLen,
+			Slot:      -1,
+		}
+	}
+	return Trace{Requests: reqs}
+}
+
 func pick(rng *rand.Rand, weights []float64) int {
 	r := rng.Float64()
 	acc := 0.0
@@ -137,7 +184,20 @@ type Config struct {
 	// stalls the whole batch for its duration, so real schedulers bound
 	// how much prefill work a single iteration may absorb.
 	MaxAdmit int
-	Knobs    perf.Knobs
+	// PrefixCache enables shared-prefix reuse: the first admission of each
+	// Template prefills and caches its PrefixLen-token prompt prefix; every
+	// later admission of that template skips it, prefilling only the
+	// suffix (the engine-level counterpart is engine.PrefillSlotFrom).
+	PrefixCache bool
+	// PrefillChunk bounds the *total* prompt tokens prefilled per
+	// iteration across all slots (0 = whole prompts inline at admission).
+	// Chunking admits long cold prompts incrementally, interleaved with
+	// decode iterations: a 2048-token arrival stalls each decode step by
+	// at most one chunk's prefill instead of stalling the batch for the
+	// entire prompt — Result.MaxIterTime is the decode-latency cap this
+	// buys, at the price of later first tokens for the chunked prompts.
+	PrefillChunk int
+	Knobs        perf.Knobs
 }
 
 func (c Config) validate() error {
@@ -146,6 +206,9 @@ func (c Config) validate() error {
 	}
 	if c.MaxLen < 2 {
 		return fmt.Errorf("batching: per-slot capacity %d < 2", c.MaxLen)
+	}
+	if c.PrefillChunk < 0 {
+		return fmt.Errorf("batching: negative prefill chunk %d", c.PrefillChunk)
 	}
 	// Feasibility at full occupancy and depth: if the KV cache of Slots
 	// sequences at MaxLen doesn't fit beside the weights, the deployment
@@ -177,24 +240,43 @@ type Result struct {
 	// Iterations counts scheduler iterations (decode steps and/or
 	// admission rounds).
 	Iterations int
-	PerRequest []Request
+	// MaxIterTime is the longest single iteration — the worst decode-step
+	// stall a running sequence observed. Chunked prefill exists to cap it.
+	MaxIterTime float64
+	// Prefix-cache accounting: admissions that found their template's
+	// prefix cached (Hits) or prefilled and cached it (Misses), and the
+	// total prompt tokens served from cache instead of recomputed.
+	PrefixHits, PrefixMisses int
+	CachedTokens             int
+	PerRequest               []Request
 }
 
 // slotState tracks one occupied slot.
 type slotState struct {
 	req      *Request
-	produced int // tokens generated so far (prefill yields the first)
+	produced int // tokens generated so far (finishing prefill yields the first)
+	ctxDone  int // prompt tokens in the KV cache (cached prefix + prefilled)
+	toGo     int // prompt tokens still to prefill (> 0: not yet decoding)
+	// seedsTemplate is the template this slot's prefill will make cached
+	// (0 = none): the template warms only once the prefix actually sits in
+	// the cache, i.e. when this prefill completes.
+	seedsTemplate int
 }
 
 // Simulate runs the iteration-level scheduler over the trace and returns
 // per-request and aggregate metrics. Discipline per iteration:
 //
 //  1. Admit queued requests into free slots, oldest first (bounded by
-//     MaxAdmit); each admission pays the batch-1 prefill cost of its
-//     actual prompt length and yields the request's first token.
-//  2. Run one decode step over the previously running slots at their
-//     actual count and mean context.
-//  3. Completions free their slots immediately, so the next iteration can
+//     MaxAdmit). With PrefixCache, an admission whose template is already
+//     cached skips its PrefixLen-token prefix and prefills only the
+//     suffix. With PrefillChunk == 0 the (remaining) prompt prefills
+//     inline at admission and yields the request's first token.
+//  2. With PrefillChunk > 0, every mid-prefill slot advances one bounded
+//     chunk instead; a slot whose final chunk completes yields its first
+//     token this iteration.
+//  3. Run one decode step over the slots that were already running, at
+//     their actual count and mean context.
+//  4. Completions free their slots immediately, so the next iteration can
 //     admit into them — the batch never drains to refill.
 //
 // The simulation is deterministic: same config and trace, same result.
@@ -216,6 +298,12 @@ func Simulate(c Config, trace Trace) (Result, error) {
 			// (NaN compares false with everything).
 			return Result{}, fmt.Errorf("batching: request %d has invalid arrival %g", r.ID, r.Arrival)
 		}
+		if r.Template != 0 && (r.PrefixLen < 0 || r.PrefixLen >= r.Context) {
+			// A template whose prefix covers the whole prompt (or none of
+			// it) is a trace-builder bug, not load to shed.
+			return Result{}, fmt.Errorf("batching: request %d has prefix %d outside [0, context %d)",
+				r.ID, r.PrefixLen, r.Context)
+		}
 		if r.Context < 1 || r.Gen < 1 || r.Context+r.Gen > c.MaxLen {
 			r.Slot = -1
 			rejected++
@@ -224,16 +312,18 @@ func Simulate(c Config, trace Trace) (Result, error) {
 		eligible = append(eligible, r)
 	}
 
-	prefillMemo := map[int]float64{}
-	prefillT := func(ctx int) float64 {
-		if t, ok := prefillMemo[ctx]; ok {
+	type preKey struct{ past, ctx int }
+	prefillMemo := map[preKey]float64{}
+	prefillT := func(past, ctx int) float64 {
+		key := preKey{past, ctx}
+		if t, ok := prefillMemo[key]; ok {
 			return t
 		}
 		res := perf.Prefill(perf.Request{
 			Model: c.Model, System: c.System, Weights: c.Weights,
-			FFN: c.FFN, Attn: c.Attn, Batch: 1, Context: ctx,
+			FFN: c.FFN, Attn: c.Attn, Batch: 1, Context: ctx, Past: past,
 		}, c.Knobs)
-		prefillMemo[ctx] = res.Time
+		prefillMemo[key] = res.Time
 		return res.Time
 	}
 	type stepKey struct{ batch, ctx int }
@@ -263,6 +353,9 @@ func Simulate(c Config, trace Trace) (Result, error) {
 	completed := 0
 	genTokens := 0
 	makespan := 0.0
+	maxIterTime := 0.0
+	warm := map[int]bool{} // templates whose prefix is cached
+	prefixHits, prefixMisses, cachedTokens := 0, 0, 0
 
 	for completed < len(eligible) {
 		for next < len(eligible) && eligible[next].Arrival <= t {
@@ -276,9 +369,12 @@ func Simulate(c Config, trace Trace) (Result, error) {
 		}
 
 		iterTime := 0.0
-		admittedThisIter := map[int]bool{}
+		// firstToken marks slots that get this iteration's token from
+		// their (completed) prefill rather than from the decode step.
+		firstToken := map[int]bool{}
+		admitted := 0
 		for free > 0 && len(queue) > 0 {
-			if c.MaxAdmit > 0 && len(admittedThisIter) >= c.MaxAdmit {
+			if c.MaxAdmit > 0 && admitted >= c.MaxAdmit {
 				break
 			}
 			r := queue[0]
@@ -290,20 +386,79 @@ func Simulate(c Config, trace Trace) (Result, error) {
 					break
 				}
 			}
-			slots[s] = &slotState{req: r, produced: 1} // prefill yields token #1
+			cached := 0
+			seeds := 0
+			if c.PrefixCache && r.Template != 0 {
+				if warm[r.Template] {
+					cached = r.PrefixLen
+					prefixHits++
+					cachedTokens += cached
+				} else {
+					// A miss warms the template only when its prefill
+					// completes; a concurrent same-template admission
+					// before then must miss too (the prefix is not in the
+					// cache yet).
+					prefixMisses++
+					seeds = r.Template
+				}
+			}
+			ss := &slotState{req: r, ctxDone: cached, toGo: r.Context - cached, seedsTemplate: seeds}
+			slots[s] = ss
 			free--
+			admitted++
 			r.Admitted = t
 			r.Slot = s
-			admittedThisIter[s] = true
-			iterTime += prefillT(r.Context)
+			if c.PrefillChunk == 0 {
+				// Inline admission: the whole (remaining) prompt prefills
+				// now and yields the request's first token.
+				iterTime += prefillT(ss.ctxDone, ss.toGo)
+				ss.ctxDone = r.Context
+				ss.toGo = 0
+				ss.produced = 1
+				firstToken[s] = true
+				if ss.seedsTemplate != 0 {
+					warm[ss.seedsTemplate] = true
+				}
+			}
 		}
 
-		// Decode step over the slots that were already running; the newly
-		// admitted ones got this iteration's token from their prefill.
+		// Chunked prefill: spend this iteration's prefill-token budget on
+		// mid-prefill slots; a slot whose last chunk lands yields its
+		// first token. The budget, not the prompt length, now bounds the
+		// prefill time added to the iteration.
+		if c.PrefillChunk > 0 {
+			budget := c.PrefillChunk
+			for s, ss := range slots {
+				if budget == 0 {
+					break
+				}
+				if ss == nil || ss.toGo == 0 {
+					continue
+				}
+				adv := budget
+				if adv > ss.toGo {
+					adv = ss.toGo
+				}
+				iterTime += prefillT(ss.ctxDone, adv)
+				ss.ctxDone += adv
+				ss.toGo -= adv
+				budget -= adv
+				if ss.toGo == 0 {
+					ss.produced = 1
+					firstToken[s] = true
+					if ss.seedsTemplate != 0 {
+						warm[ss.seedsTemplate] = true
+					}
+				}
+			}
+		}
+
+		// Decode step over the slots that were already running; slots still
+		// prefilling and those that just got their first token sit out.
 		decodeBatch := 0
 		ctxSum := 0
 		for s, ss := range slots {
-			if ss == nil || admittedThisIter[s] {
+			if ss == nil || ss.toGo > 0 || firstToken[s] {
 				continue
 			}
 			decodeBatch++
@@ -317,12 +472,15 @@ func Simulate(c Config, trace Trace) (Result, error) {
 		t += iterTime
 		iterations++
 		busyWeighted += float64(nActive) * iterTime
+		if iterTime > maxIterTime {
+			maxIterTime = iterTime
+		}
 
 		for s, ss := range slots {
-			if ss == nil {
+			if ss == nil || ss.toGo > 0 {
 				continue
 			}
-			if !admittedThisIter[s] {
+			if !firstToken[s] {
 				ss.produced++
 			}
 			if ss.produced >= ss.req.Gen {
@@ -339,12 +497,16 @@ func Simulate(c Config, trace Trace) (Result, error) {
 	}
 
 	res := Result{
-		Completed:  completed,
-		Rejected:   rejected,
-		Makespan:   makespan,
-		GenTokens:  genTokens,
-		Iterations: iterations,
-		PerRequest: reqs,
+		Completed:    completed,
+		Rejected:     rejected,
+		Makespan:     makespan,
+		GenTokens:    genTokens,
+		Iterations:   iterations,
+		MaxIterTime:  maxIterTime,
+		PrefixHits:   prefixHits,
+		PrefixMisses: prefixMisses,
+		CachedTokens: cachedTokens,
+		PerRequest:   reqs,
 	}
 	if makespan > 0 {
 		res.GenTokensPerSec = float64(genTokens) / makespan

@@ -210,3 +210,115 @@ func TestContinuousBeatsStaticOnMixedTrace(t *testing.T) {
 		cmp.ContinuousTokensPerSec, cmp.StaticTokensPerSec, cmp.Speedup,
 		cmp.Continuous.MeanOccupancy*100)
 }
+
+// Scheduler edge: more simultaneous arrivals than slots. Later requests
+// must queue (zero slots available at their arrival) and be admitted only
+// as earlier ones complete — nothing is dropped and causality holds.
+func TestZeroAvailableSlotsQueues(t *testing.T) {
+	c := palm540bConfig()
+	c.Slots = 2
+	trace := Trace{}
+	for i := 0; i < 6; i++ {
+		trace.Requests = append(trace.Requests, Request{
+			ID: i, Arrival: 0, Context: 256, Gen: 8, Slot: -1,
+		})
+	}
+	res, err := Simulate(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 6 || res.Rejected != 0 {
+		t.Fatalf("completed %d rejected %d, want 6/0", res.Completed, res.Rejected)
+	}
+	queued := 0
+	for _, r := range res.PerRequest {
+		if r.Slot < 0 || r.Slot >= 2 {
+			t.Fatalf("request %d in slot %d with 2 slots", r.ID, r.Slot)
+		}
+		if r.Admitted > r.Arrival {
+			queued++
+		}
+		if r.Done <= r.Admitted {
+			t.Fatalf("request %d: done %.3f <= admitted %.3f", r.ID, r.Done, r.Admitted)
+		}
+	}
+	// With 2 slots and 6 simultaneous arrivals, at least 4 waited for a
+	// completion to free a slot.
+	if queued < 4 {
+		t.Errorf("only %d requests queued; expected at least 4 to wait for slots", queued)
+	}
+}
+
+// Scheduler edge: a prompt longer than the context window (per-slot KV
+// capacity) is rejected at admission, with and without chunked prefill —
+// chunking bounds per-iteration work, it does not create capacity.
+func TestPromptLongerThanWindowRejected(t *testing.T) {
+	for _, chunk := range []int{0, 128} {
+		c := palm540bConfig()
+		c.PrefillChunk = chunk
+		trace := Trace{Requests: []Request{
+			{ID: 0, Arrival: 0, Context: c.MaxLen + 1, Gen: 4, Slot: -1},
+			{ID: 1, Arrival: 0, Context: 256, Gen: 8, Slot: -1},
+		}}
+		res, err := Simulate(c, trace)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if res.Completed != 1 || res.Rejected != 1 {
+			t.Fatalf("chunk %d: completed %d rejected %d, want 1/1", chunk, res.Completed, res.Rejected)
+		}
+		if res.PerRequest[0].Slot != -1 {
+			t.Errorf("chunk %d: oversized request got slot %d", chunk, res.PerRequest[0].Slot)
+		}
+	}
+}
+
+// Scheduler edge: every sequence finishes in the same iteration. The batch
+// drains completely in one step, all slots free at once, and a later wave
+// is admitted into the emptied batch without stalling or double-freeing.
+func TestAllSequencesFinishSameIteration(t *testing.T) {
+	c := palm540bConfig()
+	c.Slots = 4
+	c.MaxAdmit = 0 // admit the whole wave in one iteration
+	trace := Trace{}
+	// Wave 1: four identical requests admitted together decode in lockstep
+	// and complete in the same iteration.
+	for i := 0; i < 4; i++ {
+		trace.Requests = append(trace.Requests, Request{
+			ID: i, Arrival: 0, Context: 128, Gen: 8, Slot: -1,
+		})
+	}
+	// Wave 2 arrives long after wave 1 completed.
+	for i := 4; i < 8; i++ {
+		trace.Requests = append(trace.Requests, Request{
+			ID: i, Arrival: 1e6, Context: 128, Gen: 8, Slot: -1,
+		})
+	}
+	res, err := Simulate(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 {
+		t.Fatalf("completed %d/8", res.Completed)
+	}
+	wave1 := res.PerRequest[:4]
+	done := wave1[0].Done
+	slots := map[int]bool{}
+	for _, r := range wave1 {
+		if r.Done != done {
+			t.Errorf("wave-1 request %d finished at %.4f, others at %.4f", r.ID, r.Done, done)
+		}
+		slots[r.Slot] = true
+	}
+	if len(slots) != 4 {
+		t.Errorf("wave 1 used %d distinct slots, want 4", len(slots))
+	}
+	for _, r := range res.PerRequest[4:] {
+		if r.Admitted < 1e6 {
+			t.Errorf("wave-2 request %d admitted at %.2f, before its arrival", r.ID, r.Admitted)
+		}
+		if r.Slot < 0 {
+			t.Errorf("wave-2 request %d rejected", r.ID)
+		}
+	}
+}

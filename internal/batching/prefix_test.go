@@ -1,0 +1,216 @@
+package batching
+
+import (
+	"testing"
+)
+
+func TestSharedPrefixTraceShape(t *testing.T) {
+	a := SharedPrefixTrace(60, 0.05, 1792, 3, 9)
+	b := SharedPrefixTrace(60, 0.05, 1792, 3, 9)
+	templates := map[int]bool{}
+	for i, r := range a.Requests {
+		if r != b.Requests[i] {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+		if r.Template < 1 || r.Template > 3 {
+			t.Fatalf("request %d template %d", i, r.Template)
+		}
+		if r.PrefixLen != 1792 || r.Context <= r.PrefixLen {
+			t.Fatalf("request %d: prefix %d of context %d", i, r.PrefixLen, r.Context)
+		}
+		templates[r.Template] = true
+	}
+	if len(templates) != 3 {
+		t.Errorf("trace uses %d of 3 templates", len(templates))
+	}
+}
+
+// Prefix accounting: the first admission per template misses (and caches),
+// every later one hits and skips exactly its prefix tokens. The cache can
+// only remove work: same completions and tokens, no worse throughput.
+func TestSimulatePrefixAccounting(t *testing.T) {
+	c := palm540bConfig()
+	c.PrefixCache = true
+	const templates = 3
+	trace := SharedPrefixTrace(60, 0.02, 1792, templates, 5)
+	res, err := Simulate(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 60 || res.Rejected != 0 {
+		t.Fatalf("completed %d rejected %d", res.Completed, res.Rejected)
+	}
+	if res.PrefixMisses != templates || res.PrefixHits != 60-templates {
+		t.Errorf("hits/misses = %d/%d, want %d/%d",
+			res.PrefixHits, res.PrefixMisses, 60-templates, templates)
+	}
+	if want := (60 - templates) * 1792; res.CachedTokens != want {
+		t.Errorf("cached tokens %d, want %d", res.CachedTokens, want)
+	}
+
+	c.PrefixCache = false
+	off, err := Simulate(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.PrefixHits != 0 || off.CachedTokens != 0 {
+		t.Errorf("disabled cache recorded hits: %+v", off)
+	}
+	if off.GenTokens != res.GenTokens || off.Completed != res.Completed {
+		t.Errorf("cache changed useful work: %d/%d tokens, %d/%d completed",
+			res.GenTokens, off.GenTokens, res.Completed, off.Completed)
+	}
+	if res.GenTokensPerSec < off.GenTokensPerSec {
+		t.Errorf("prefix cache lowered throughput: %.1f vs %.1f tok/s",
+			res.GenTokensPerSec, off.GenTokensPerSec)
+	}
+	if res.Makespan >= off.Makespan {
+		t.Errorf("prefix cache did not shorten makespan: %.2f vs %.2f",
+			res.Makespan, off.Makespan)
+	}
+}
+
+// The tentpole acceptance criterion: on a shared-system-prompt trace the
+// cached replay sustains at least 2x the useful tok/s of CompareNoCache's
+// uncached twin.
+func TestCompareNoCacheSharedPromptSpeedup(t *testing.T) {
+	c := palm540bConfig()
+	c.MaxAdmit = 4
+	// Heavy traffic so the comparison measures service rate, not arrivals.
+	trace := SharedPrefixTrace(120, 0.01, 1792, 3, 1)
+	cmp, err := CompareNoCache(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Cached.Completed != 120 || cmp.Uncached.Completed != 120 {
+		t.Fatalf("completions: cached %d, uncached %d", cmp.Cached.Completed, cmp.Uncached.Completed)
+	}
+	if cmp.Cached.GenTokens != cmp.Uncached.GenTokens {
+		t.Fatalf("useful tokens differ: %d vs %d", cmp.Cached.GenTokens, cmp.Uncached.GenTokens)
+	}
+	if cmp.Speedup < 2 {
+		t.Errorf("shared-prompt speedup %.2fx, want >= 2x (cached %.1f vs uncached %.1f tok/s)",
+			cmp.Speedup, cmp.Cached.GenTokensPerSec, cmp.Uncached.GenTokensPerSec)
+	}
+	t.Logf("prefix cache: %.1f tok/s vs %.1f tok/s (%.2fx, %d tokens served from cache)",
+		cmp.Cached.GenTokensPerSec, cmp.Uncached.GenTokensPerSec,
+		cmp.Speedup, cmp.Cached.CachedTokens)
+}
+
+// Chunked prefill must cap the worst-case iteration (the stall running
+// sequences eat when a long prompt arrives) while completing the same
+// work.
+func TestPrefillChunkCapsIterationStall(t *testing.T) {
+	c := palm540bConfig()
+	c.MaxAdmit = 4
+	trace := ChatbotTrace(80, 0.02, 7)
+
+	whole, err := Simulate(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PrefillChunk = 256
+	chunked, err := Simulate(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked.Completed != whole.Completed || chunked.GenTokens != whole.GenTokens {
+		t.Fatalf("chunking changed useful work: %d/%d tokens", chunked.GenTokens, whole.GenTokens)
+	}
+	if chunked.MaxIterTime >= whole.MaxIterTime {
+		t.Errorf("chunking did not cap the stall: max iteration %.4fs vs %.4fs",
+			chunked.MaxIterTime, whole.MaxIterTime)
+	}
+	// The cap costs iterations, not correctness.
+	if chunked.Iterations <= whole.Iterations {
+		t.Errorf("chunked run used %d iterations vs %d — chunking should add admission iterations",
+			chunked.Iterations, whole.Iterations)
+	}
+
+	c.PrefillChunk = -1
+	if _, err := Simulate(c, trace); err == nil {
+		t.Error("negative prefill chunk accepted")
+	}
+}
+
+// Chunking composes with the prefix cache: cached admissions have less to
+// chunk, so first tokens come earlier and throughput is no worse. Under
+// chunking a template warms only when its seeding prefill *completes*, so
+// same-template admissions during that window are honest misses — more
+// than one miss per template is expected under heavy arrivals.
+func TestPrefillChunkWithPrefixCache(t *testing.T) {
+	c := palm540bConfig()
+	c.MaxAdmit = 4
+	c.PrefillChunk = 256
+	const templates = 2
+	trace := SharedPrefixTrace(60, 0.02, 1792, templates, 3)
+	cmp, err := CompareNoCache(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cmp.Cached
+	if res.PrefixHits+res.PrefixMisses != 60 {
+		t.Fatalf("hits %d + misses %d != 60", res.PrefixHits, res.PrefixMisses)
+	}
+	if res.PrefixMisses < templates || res.PrefixHits < 1 {
+		t.Errorf("hits/misses = %d/%d; want >= 1 hit and >= %d misses",
+			res.PrefixHits, res.PrefixMisses, templates)
+	}
+	if want := res.PrefixHits * 1792; res.CachedTokens != want {
+		t.Errorf("cached tokens %d, want hits×prefix = %d", res.CachedTokens, want)
+	}
+	if cmp.Speedup < 1 {
+		t.Errorf("cache + chunking slower than chunking alone: %.2fx", cmp.Speedup)
+	}
+	if res.MeanLatency >= cmp.Uncached.MeanLatency {
+		t.Errorf("cached chunked latency %.2fs not below uncached %.2fs",
+			res.MeanLatency, cmp.Uncached.MeanLatency)
+	}
+}
+
+// Regression: a template must warm only when its seeding prefill has
+// actually completed. Two same-template requests admitted together under
+// chunking both miss (the prefix is not cached yet); a third arriving
+// after they finish hits.
+func TestPrefixWarmsOnPrefillCompletion(t *testing.T) {
+	c := palm540bConfig()
+	c.PrefixCache = true
+	c.PrefillChunk = 64
+	trace := Trace{Requests: []Request{
+		{ID: 0, Arrival: 0, Context: 1024, Gen: 4, Template: 1, PrefixLen: 960, Slot: -1},
+		{ID: 1, Arrival: 0, Context: 1024, Gen: 4, Template: 1, PrefixLen: 960, Slot: -1},
+		{ID: 2, Arrival: 1e6, Context: 1024, Gen: 4, Template: 1, PrefixLen: 960, Slot: -1},
+	}}
+	res, err := Simulate(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefixMisses != 2 || res.PrefixHits != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2: concurrent admissions must not hit an uncached prefix",
+			res.PrefixHits, res.PrefixMisses)
+	}
+	if res.CachedTokens != 960 {
+		t.Errorf("cached tokens %d, want 960", res.CachedTokens)
+	}
+}
+
+// A malformed template (prefix covering the whole prompt) is a trace bug
+// and must fail loudly, not skew accounting.
+func TestSimulateRejectsBadPrefix(t *testing.T) {
+	c := palm540bConfig()
+	c.PrefixCache = true
+	for name, req := range map[string]Request{
+		"prefix==context": {ID: 0, Context: 512, Gen: 8, Template: 1, PrefixLen: 512},
+		"prefix>context":  {ID: 0, Context: 512, Gen: 8, Template: 1, PrefixLen: 600},
+		"negative prefix": {ID: 0, Context: 512, Gen: 8, Template: 1, PrefixLen: -1},
+	} {
+		if _, err := Simulate(c, Trace{Requests: []Request{req}}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Template 0 ignores PrefixLen entirely.
+	ok := Trace{Requests: []Request{{ID: 0, Context: 512, Gen: 8, PrefixLen: 512}}}
+	if _, err := Simulate(c, ok); err != nil {
+		t.Errorf("template-free request rejected: %v", err)
+	}
+}

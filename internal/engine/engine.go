@@ -28,6 +28,20 @@
 // weight-stationary and XYZ-gathered endpoints that are both validated
 // functionally here.
 //
+// Beyond the lockstep batch paths (Prefill/Decode), the engine serves a
+// continuous-batching scheduler with per-slot admission: PrefillSlot admits
+// one prompt into a freed KV-cache slot mid-stream and DecodeSlots advances
+// whatever subset of slots is live, each at its own depth. PrefillSlot is
+// incremental — it appends at the slot's current depth and attends causally
+// against everything before it — which yields two admission optimizations
+// for free (prefix.go): shared-prefix reuse, where a cached system prompt's
+// K/V are attached from a reference-counted per-chip store and only the
+// suffix is prefilled (AcquirePrefix/PrefillSlotFrom/PrefillSlotCached),
+// and chunked prefill, where a long cold prompt is admitted in bounded
+// chunks interleaved with decode iterations (PrefillSlotChunked). Both are
+// verified token-exact against the cold path and the batch-1 reference
+// across all functional layouts.
+//
 // Activations live E-sharded across all chips between layers (the residual
 // stream shard is [tokens, E/nchips]); RMS normalization uses a tiny
 // per-token all-reduce of sums of squares. Unlike the production system the
@@ -120,7 +134,10 @@ type chipState struct {
 	embedRows *tensor.Mat // [vocab/n, E]: this chip's logit rows
 	finalGain []float32
 	cache     *kvcache.Cache
-	opID      uint64
+	// prefix is this chip's shard of the shared-prefix store (nil until
+	// EnablePrefixCache).
+	prefix *kvcache.PrefixStore
+	opID   uint64
 	// wg carries the weight-gathered path's state (nil otherwise).
 	wg *wgState
 }
@@ -134,6 +151,9 @@ type Engine struct {
 	chips  []*chipState
 	batch  int
 	maxLen int
+	// slotPfx holds, per slot, the acquired prefix ref whose store
+	// references ReleaseSlot must give back.
+	slotPfx []*PrefixRef
 }
 
 // New shards the reference weights onto a mesh. It validates the
@@ -182,7 +202,8 @@ func New(w *reference.Weights, t hardware.Torus, opts Options, batch, maxLen int
 		return nil, fmt.Errorf("engine: %d KV heads not divisible by %d chips", cfg.KVHeads, n)
 	}
 
-	e := &Engine{cfg: cfg, torus: t, opts: opts, m: mesh.New(t), batch: batch, maxLen: maxLen}
+	e := &Engine{cfg: cfg, torus: t, opts: opts, m: mesh.New(t), batch: batch, maxLen: maxLen,
+		slotPfx: make([]*PrefixRef, batch)}
 	e.chips = make([]*chipState, n)
 	for r := 0; r < n; r++ {
 		e.chips[r] = e.buildChip(w, r)

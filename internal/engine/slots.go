@@ -44,16 +44,22 @@ func (e *Engine) SlotLen(slot int) int {
 
 // ReleaseSlot evicts a completed sequence: the slot's KV storage is zeroed
 // and its length reset on every chip that holds it, making the slot ready
-// for the next PrefillSlot.
+// for the next PrefillSlot. A shared prefix attached by PrefillSlotFrom is
+// detached and its per-chip store references are given back, so the prefix
+// becomes LRU-evictable once its last slot departs.
 func (e *Engine) ReleaseSlot(slot int) {
 	e.checkSlot(slot)
 	owner, local := e.slotOwner(slot)
 	if owner >= 0 {
 		e.chips[owner].cache.ResetSeq(local)
-		return
+	} else {
+		for _, st := range e.chips {
+			st.cache.ResetSeq(local)
+		}
 	}
-	for _, st := range e.chips {
-		st.cache.ResetSeq(local)
+	if ref := e.slotPfx[slot]; ref != nil {
+		e.slotPfx[slot] = nil
+		e.ReleasePrefix(ref)
 	}
 }
 

@@ -20,8 +20,10 @@ func FuzzSlotIsolation(f *testing.F) {
 		const layers, slots, maxLen, width = 2, 3, 4, 2
 		c := New(layers, slots, maxLen, width)
 		// shadow[s] holds the expected first-column K value of each
-		// committed position in slot s.
+		// committed position in slot s; inUse mirrors the advisory
+		// allocation map.
 		shadow := make([][]float32, slots)
+		inUse := make([]bool, slots)
 		next := float32(1)
 
 		check := func() {
@@ -72,18 +74,32 @@ func FuzzSlotIsolation(f *testing.F) {
 				c.AdvanceSeq(s, 1)
 				shadow[s] = append(shadow[s], next)
 				next++
-			case 1: // release slot s (evict)
-				c.Release(s)
-				shadow[s] = nil
-				// Release hygiene: the slot's full capacity reads zero.
-				for l := 0; l < layers; l++ {
-					for p := 0; p < maxLen; p++ {
-						row := c.K[l].Row(s*maxLen + p)
-						for _, x := range row {
-							if x != 0 {
-								t.Fatalf("slot %d layer %d pos %d: stale %g after release", s, l, p, x)
+			case 1: // release slot s (evict); double release must error
+				_, err := c.Release(s)
+				if inUse[s] {
+					if err != nil {
+						t.Fatalf("release of allocated slot %d: %v", s, err)
+					}
+					inUse[s] = false
+					shadow[s] = nil
+					// Release hygiene: the slot's full capacity reads zero.
+					for l := 0; l < layers; l++ {
+						for p := 0; p < maxLen; p++ {
+							row := c.K[l].Row(s*maxLen + p)
+							for _, x := range row {
+								if x != 0 {
+									t.Fatalf("slot %d layer %d pos %d: stale %g after release", s, l, p, x)
+								}
 							}
 						}
+					}
+				} else {
+					if err == nil {
+						t.Fatalf("release of unallocated slot %d silently succeeded", s)
+					}
+					// The failed release must not have disturbed the slot.
+					if got, want := c.SeqLen(s), len(shadow[s]); got != want {
+						t.Fatalf("failed release changed slot %d length: %d, want %d", s, got, want)
 					}
 				}
 			case 2: // alloc any free slot (returns it empty)
@@ -91,6 +107,7 @@ func FuzzSlotIsolation(f *testing.F) {
 					if c.SeqLen(got) != 0 {
 						t.Fatalf("alloc returned non-empty slot %d", got)
 					}
+					inUse[got] = true
 					shadow[got] = nil
 				}
 			}

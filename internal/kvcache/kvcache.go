@@ -11,6 +11,11 @@
 // (AppendSeq/AdvanceSeq), and releases it on completion (Release) so the
 // next queued request can reuse the storage — the iteration-level reuse
 // that keeps the decode batch full under heavy traffic.
+//
+// Slots can additionally alias a shared, reference-counted prefix block
+// (prefix.go): positions [0, PrefixLen) are served from a PrefixStore's
+// single copy while appends fill only the private suffix, so many requests
+// carrying the same system prompt neither recompute nor re-store its K/V.
 package kvcache
 
 import (
@@ -29,10 +34,11 @@ type Cache struct {
 	MaxLen  int // capacity in positions per slot
 	KVWidth int // KV heads × head dim
 
-	lens []int  // positions currently filled, per slot
-	used []bool // advisory slot-allocation map (Alloc/Release)
+	lens []int     // *private* positions currently filled, per slot
+	used []bool    // advisory slot-allocation map (Alloc/Release)
+	pfx  []*Prefix // attached shared prefix, per slot (nil = none)
 
-	K, V []*tensor.Mat // per layer: [Seqs*MaxLen, KVWidth]
+	K, V []*tensor.Mat // per layer: [Seqs*MaxLen, KVWidth] (private rows)
 }
 
 // New allocates an empty cache. All slots start free and zero-length.
@@ -41,6 +47,7 @@ func New(layers, seqs, maxLen, kvWidth int) *Cache {
 		Layers: layers, Seqs: seqs, MaxLen: maxLen, KVWidth: kvWidth,
 		lens: make([]int, seqs),
 		used: make([]bool, seqs),
+		pfx:  make([]*Prefix, seqs),
 	}
 	c.K = make([]*tensor.Mat, layers)
 	c.V = make([]*tensor.Mat, layers)
@@ -57,10 +64,95 @@ func (c *Cache) checkSlot(s int) {
 	}
 }
 
-// SeqLen returns the filled length of slot s.
+// SeqLen returns the filled length of slot s: the attached shared prefix
+// (if any) plus the slot's private positions. Everything downstream —
+// attention depth, capacity checks, slot reporting — sees this total, so a
+// prefix-attached slot behaves exactly like one whose prefix was prefilled
+// privately.
 func (c *Cache) SeqLen(s int) int {
 	c.checkSlot(s)
-	return c.lens[s]
+	return c.prefixLen(s) + c.lens[s]
+}
+
+// PrefixLen returns the length of the shared prefix attached to slot s
+// (0 when none).
+func (c *Cache) PrefixLen(s int) int {
+	c.checkSlot(s)
+	return c.prefixLen(s)
+}
+
+func (c *Cache) prefixLen(s int) int {
+	if p := c.pfx[s]; p != nil {
+		return p.Len()
+	}
+	return 0
+}
+
+// AttachPrefix aliases slot s onto a shared prefix: the slot's positions
+// [0, p.Len()) are served from the store's single copy, and subsequent
+// appends write only the private suffix. The slot must be empty, and the
+// prefix must match the cache's K/V width and fit its capacity. The caller
+// (not the cache) owns the prefix's reference count.
+func (c *Cache) AttachPrefix(s int, p *Prefix) error {
+	c.checkSlot(s)
+	if p == nil {
+		return fmt.Errorf("kvcache: attach of nil prefix")
+	}
+	if c.lens[s] != 0 || c.pfx[s] != nil {
+		return fmt.Errorf("kvcache: slot %d not empty (len %d, prefix %d)", s, c.lens[s], c.prefixLen(s))
+	}
+	if len(p.K) != c.Layers {
+		return fmt.Errorf("kvcache: prefix has %d layers, cache %d", len(p.K), c.Layers)
+	}
+	if p.K[0].Cols != c.KVWidth {
+		return fmt.Errorf("kvcache: prefix width %d, cache %d", p.K[0].Cols, c.KVWidth)
+	}
+	if p.Len() > c.MaxLen {
+		return fmt.Errorf("kvcache: prefix of %d tokens exceeds slot capacity %d", p.Len(), c.MaxLen)
+	}
+	c.pfx[s] = p
+	return nil
+}
+
+// DetachPrefix removes and returns slot s's shared prefix (nil if none).
+// The slot's private suffix, if any, keeps its content but loses its first
+// PrefixLen positions of context, so detaching a non-empty slot is only
+// meaningful right before a reset; use MaterializePrefix to keep a live
+// slot intact.
+func (c *Cache) DetachPrefix(s int) *Prefix {
+	c.checkSlot(s)
+	p := c.pfx[s]
+	c.pfx[s] = nil
+	return p
+}
+
+// MaterializePrefix is the copy-on-divergence escape hatch: it copies the
+// attached prefix's rows into slot s's private storage, shifting the private
+// suffix up, and returns the detached prefix so the caller can release its
+// reference. The slot's contents and SeqLen are unchanged; it simply no
+// longer aliases the store, so the prefix becomes evictable.
+func (c *Cache) MaterializePrefix(s int) *Prefix {
+	c.checkSlot(s)
+	p := c.pfx[s]
+	if p == nil {
+		return nil
+	}
+	pl := p.Len()
+	for l := 0; l < c.Layers; l++ {
+		base := s * c.MaxLen
+		// Private rows move up by pl; copy backwards so ranges may overlap.
+		for t := c.lens[s] - 1; t >= 0; t-- {
+			copy(c.K[l].Row(base+pl+t), c.K[l].Row(base+t))
+			copy(c.V[l].Row(base+pl+t), c.V[l].Row(base+t))
+		}
+		for t := 0; t < pl; t++ {
+			copy(c.K[l].Row(base+t), p.K[l].Row(t))
+			copy(c.V[l].Row(base+t), p.V[l].Row(t))
+		}
+	}
+	c.lens[s] += pl
+	c.pfx[s] = nil
+	return p
 }
 
 // Len returns the maximum filled length over all slots. For the lockstep
@@ -102,11 +194,13 @@ func (c *Cache) AppendSeq(l, s int, k, v *tensor.Mat, steps int) {
 }
 
 // appendAt copies `steps` rows of k/v starting at source row `src` into
-// slot s of layer l at the slot's current length.
+// slot s of layer l at the slot's current length. With a prefix attached,
+// private storage starts at the prefix boundary, so writes land at the
+// private length while capacity is checked on the total sequence length.
 func (c *Cache) appendAt(l, s int, k, v *tensor.Mat, src, steps int) {
-	if c.lens[s]+steps > c.MaxLen {
+	if c.SeqLen(s)+steps > c.MaxLen {
 		panic(fmt.Sprintf("kvcache: slot %d overflow: %d+%d > capacity %d",
-			s, c.lens[s], steps, c.MaxLen))
+			s, c.SeqLen(s), steps, c.MaxLen))
 	}
 	for t := 0; t < steps; t++ {
 		dst := s*c.MaxLen + c.lens[s] + t
@@ -119,7 +213,7 @@ func (c *Cache) appendAt(l, s int, k, v *tensor.Mat, src, steps int) {
 // layers have written.
 func (c *Cache) Advance(steps int) {
 	for s := 0; s < c.Seqs; s++ {
-		if c.lens[s]+steps > c.MaxLen {
+		if c.SeqLen(s)+steps > c.MaxLen {
 			panic("kvcache: advance past capacity")
 		}
 	}
@@ -131,7 +225,7 @@ func (c *Cache) Advance(steps int) {
 // AdvanceSeq commits `steps` appended positions on slot s.
 func (c *Cache) AdvanceSeq(s, steps int) {
 	c.checkSlot(s)
-	if c.lens[s]+steps > c.MaxLen {
+	if c.SeqLen(s)+steps > c.MaxLen {
 		panic("kvcache: advance past capacity")
 	}
 	c.lens[s] += steps
@@ -152,11 +246,21 @@ func (c *Cache) Alloc() (int, bool) {
 
 // Release evicts slot s: its length is reset, its storage zeroed (so stale
 // K/V from the previous occupant can never leak into a new sequence), and
-// the slot returns to the free pool.
-func (c *Cache) Release(s int) {
+// the slot returns to the free pool. Releasing a slot that is not allocated
+// — including releasing the same slot twice — is a scheduler bookkeeping
+// bug and returns an error without touching the slot; with reference-
+// counted prefix blocks a silent double release would decrement a shared
+// refcount twice and free a prefix other slots still alias. The returned
+// prefix is the slot's detached shared prefix (nil if none); the caller
+// releases its store reference.
+func (c *Cache) Release(s int) (*Prefix, error) {
 	c.checkSlot(s)
-	c.ResetSeq(s)
+	if !c.used[s] {
+		return nil, fmt.Errorf("kvcache: release of slot %d, which is not allocated (double release?)", s)
+	}
+	p := c.ResetSeq(s)
 	c.used[s] = false
+	return p, nil
 }
 
 // InUse reports whether slot s is currently allocated.
@@ -177,16 +281,20 @@ func (c *Cache) FreeSlots() int {
 }
 
 // ResetSeq empties slot s and zeroes its rows in every layer without
-// touching neighboring slots.
-func (c *Cache) ResetSeq(s int) {
+// touching neighboring slots. Any attached shared prefix is detached (its
+// single stored copy is untouched) and returned so the caller can release
+// its store reference.
+func (c *Cache) ResetSeq(s int) *Prefix {
 	c.checkSlot(s)
 	c.lens[s] = 0
+	p := c.DetachPrefix(s)
 	for l := 0; l < c.Layers; l++ {
 		for t := 0; t < c.MaxLen; t++ {
 			zero(c.K[l].Row(s*c.MaxLen + t))
 			zero(c.V[l].Row(s*c.MaxLen + t))
 		}
 	}
+	return p
 }
 
 func zero(row []float32) {
@@ -195,16 +303,54 @@ func zero(row []float32) {
 	}
 }
 
-// Keys returns the filled K rows of slot s in layer l: [SeqLen(s), KVWidth].
+// Keys returns the filled K rows of slot s in layer l: [SeqLen(s), KVWidth],
+// including any attached shared prefix.
 func (c *Cache) Keys(l, s int) *tensor.Mat {
-	c.checkSlot(s)
-	return tensor.SliceRows(c.K[l], s*c.MaxLen, s*c.MaxLen+c.lens[s])
+	return c.RowsK(l, s, c.SeqLen(s))
 }
 
 // Values returns the filled V rows of slot s in layer l.
 func (c *Cache) Values(l, s int) *tensor.Mat {
+	return c.RowsV(l, s, c.SeqLen(s))
+}
+
+// RowsK returns K rows for positions [0, total) of slot s in layer l. The
+// range may extend past the committed SeqLen into rows already written by
+// Append*/AppendSeq but not yet committed — the window attention reads
+// mid-pass. Without an attached prefix this is a zero-copy view of the
+// slot's storage; with one, the shared prefix rows and the private suffix
+// are materialized into a contiguous matrix.
+func (c *Cache) RowsK(l, s, total int) *tensor.Mat {
+	return c.rows(c.K, l, s, total, func(p *Prefix) []*tensor.Mat { return p.K })
+}
+
+// RowsV is RowsK for the V tensor.
+func (c *Cache) RowsV(l, s, total int) *tensor.Mat {
+	return c.rows(c.V, l, s, total, func(p *Prefix) []*tensor.Mat { return p.V })
+}
+
+func (c *Cache) rows(store []*tensor.Mat, l, s, total int, side func(*Prefix) []*tensor.Mat) *tensor.Mat {
 	c.checkSlot(s)
-	return tensor.SliceRows(c.V[l], s*c.MaxLen, s*c.MaxLen+c.lens[s])
+	if total < 0 || total > c.MaxLen {
+		panic(fmt.Sprintf("kvcache: slot %d row range %d out of capacity %d", s, total, c.MaxLen))
+	}
+	p := c.pfx[s]
+	if p == nil {
+		return tensor.SliceRows(store[l], s*c.MaxLen, s*c.MaxLen+total)
+	}
+	shared := side(p)
+	pl := p.Len()
+	if total <= pl {
+		return tensor.SliceRows(shared[l], 0, total)
+	}
+	out := tensor.New(total, c.KVWidth)
+	for t := 0; t < pl; t++ {
+		copy(out.Row(t), shared[l].Row(t))
+	}
+	for t := pl; t < total; t++ {
+		copy(out.Row(t), store[l].Row(s*c.MaxLen+t-pl))
+	}
+	return out
 }
 
 // Bytes is the allocated footprint (float32 storage).
@@ -212,7 +358,10 @@ func (c *Cache) Bytes() int {
 	return 2 * c.Layers * c.Seqs * c.MaxLen * c.KVWidth * 4
 }
 
-// UsedBytes is the footprint of filled positions only, summed over slots.
+// UsedBytes is the footprint of filled *private* positions only, summed
+// over slots. Shared prefix rows are deliberately excluded: they live once
+// in the PrefixStore no matter how many slots alias them, which is the
+// memory saving prefix sharing exists for.
 func (c *Cache) UsedBytes() int {
 	total := 0
 	for _, l := range c.lens {
@@ -223,10 +372,18 @@ func (c *Cache) UsedBytes() int {
 
 // Reset empties the cache without reallocating: every slot becomes free
 // and zero-length. Storage is not zeroed (use ResetSeq/Release for
-// eviction hygiene on live slots).
-func (c *Cache) Reset() {
+// eviction hygiene on live slots). Attached shared prefixes are detached
+// and returned so the caller can release their store references — dropping
+// them would pin the prefixes in a budgeted store forever.
+func (c *Cache) Reset() []*Prefix {
+	var detached []*Prefix
 	for s := 0; s < c.Seqs; s++ {
 		c.lens[s] = 0
 		c.used[s] = false
+		if c.pfx[s] != nil {
+			detached = append(detached, c.pfx[s])
+			c.pfx[s] = nil
+		}
 	}
+	return detached
 }

@@ -146,7 +146,9 @@ func TestAllocRelease(t *testing.T) {
 		t.Errorf("FreeSlots = %d, want 0", c.FreeSlots())
 	}
 	fill(c, s0, 3, 7)
-	c.Release(s0)
+	if _, err := c.Release(s0); err != nil {
+		t.Fatalf("release of allocated slot: %v", err)
+	}
 	if c.InUse(s0) || c.FreeSlots() != 1 {
 		t.Error("release did not free the slot")
 	}
@@ -212,4 +214,36 @@ func TestSlotOutOfRangePanics(t *testing.T) {
 		}
 	}()
 	c.SeqLen(2)
+}
+
+// Regression: releasing a slot twice (or one never allocated) must be an
+// error, not a silent success. With reference-counted prefix blocks a
+// double release would drop a shared refcount twice and free a prefix other
+// slots still alias.
+func TestDoubleReleaseIsError(t *testing.T) {
+	c := New(1, 2, 4, 4)
+	if _, err := c.Release(0); err == nil {
+		t.Error("release of never-allocated slot succeeded")
+	}
+	s, ok := c.Alloc()
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	fill(c, s, 2, 3)
+	if _, err := c.Release(s); err != nil {
+		t.Fatalf("first release: %v", err)
+	}
+	if _, err := c.Release(s); err == nil {
+		t.Error("double release succeeded silently")
+	}
+	// The failed second release must not have re-zeroed or re-freed
+	// anything a new occupant relies on.
+	s2, ok := c.Alloc()
+	if !ok || s2 != s {
+		t.Fatalf("realloc after double-release attempt: slot %d ok=%v", s2, ok)
+	}
+	fill(c, s2, 1, 9)
+	if got := c.Keys(0, s2).At(0, 0); got != 9 {
+		t.Errorf("slot content after realloc = %g, want 9", got)
+	}
 }

@@ -1,0 +1,298 @@
+package kvcache
+
+// Shared-prefix KV reuse. Millions of chatbot requests open with the same
+// system prompt or few-shot template; recomputing that prefix's K/V on every
+// admission spends exactly the resource the paper shows the prefill phase is
+// short on (compute, Section 2), and storing a private copy per slot spends
+// the resource the decode phase is short on (HBM, Table 1). A PrefixStore
+// holds one immutable K/V block per distinct prefix, keyed by its token IDs
+// in a trie so lookup finds the *longest* cached prefix of a new prompt, and
+// reference-counted so any number of live slots alias the same block. A
+// slot attaches a prefix (Cache.AttachPrefix) and then appends only its
+// private suffix: divergence after the shared part needs no copy at all,
+// because appends are always past the prefix boundary — the copy-on-
+// divergence degenerate case. The one real copy, MaterializePrefix, turns an
+// alias into private rows when a slot must outlive its prefix's residency.
+//
+// Eviction is LRU over unreferenced entries under a byte budget, the same
+// admission-shaping role the serving tier plays for slots themselves.
+
+import (
+	"fmt"
+
+	"esti/internal/tensor"
+)
+
+// Prefix is one immutable cached prefix: per-layer K/V for its tokens.
+// It is created by PrefixStore.Insert and shared read-only between any
+// number of cache slots; refcounts are managed by Acquire/Release.
+type Prefix struct {
+	tokens []int
+	// K and V are per layer [len(tokens), width], read-only once inserted.
+	K, V []*tensor.Mat
+
+	refs    int
+	lastUse int64
+	node    *trieNode
+}
+
+// Len returns the prefix length in tokens.
+func (p *Prefix) Len() int { return len(p.tokens) }
+
+// Tokens returns a copy of the token IDs the prefix was keyed on.
+func (p *Prefix) Tokens() []int { return append([]int(nil), p.tokens...) }
+
+// Refs returns the number of live references (attached slots).
+func (p *Prefix) Refs() int { return p.refs }
+
+// Bytes is the float32 K+V footprint of the prefix.
+func (p *Prefix) Bytes() int {
+	if len(p.K) == 0 {
+		return 0
+	}
+	return 2 * len(p.K) * len(p.tokens) * p.K[0].Cols * 4
+}
+
+// trieNode is one token edge in the prefix trie. An entry may sit on an
+// interior node: a short system prompt can be a prefix of a longer cached
+// template, and Acquire returns the deepest entry along the prompt.
+type trieNode struct {
+	parent   *trieNode
+	tok      int
+	children map[int]*trieNode
+	entry    *Prefix
+}
+
+// PrefixStore is a reference-counted, byte-budgeted store of shared
+// prefixes. It is not safe for concurrent use; callers serialize (the
+// schedulers in this repo are single-threaded per engine).
+type PrefixStore struct {
+	layers, width int
+	budget        int // bytes; 0 = unlimited
+
+	root    trieNode
+	clock   int64
+	bytes   int
+	entries int
+
+	hits, misses       int64
+	hitToks, missToks  int64
+	insertions, evicts int64
+}
+
+// PrefixStats is a point-in-time summary of store effectiveness.
+type PrefixStats struct {
+	Entries int
+	Bytes   int
+	// Hits/Misses count Acquire outcomes; HitTokens sums the lengths of the
+	// returned prefixes — prefill tokens the engine did not recompute.
+	Hits, Misses          int64
+	HitTokens, MissTokens int64
+	Insertions, Evictions int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s PrefixStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// NewPrefixStore creates an empty store for prefixes of the given per-layer
+// K/V width. budgetBytes bounds resident K+V bytes (0 = unlimited).
+func NewPrefixStore(layers, width, budgetBytes int) *PrefixStore {
+	if layers < 1 || width < 1 {
+		panic(fmt.Sprintf("kvcache: prefix store with %d layers, width %d", layers, width))
+	}
+	return &PrefixStore{layers: layers, width: width, budget: budgetBytes}
+}
+
+// Stats returns a snapshot of store counters.
+func (ps *PrefixStore) Stats() PrefixStats {
+	return PrefixStats{
+		Entries: ps.entries, Bytes: ps.bytes,
+		Hits: ps.hits, Misses: ps.misses,
+		HitTokens: ps.hitToks, MissTokens: ps.missToks,
+		Insertions: ps.insertions, Evictions: ps.evicts,
+	}
+}
+
+// Bytes returns the resident K+V bytes of all stored prefixes.
+func (ps *PrefixStore) Bytes() int { return ps.bytes }
+
+// Entries returns the number of stored prefixes.
+func (ps *PrefixStore) Entries() int { return ps.entries }
+
+// Insert stores per-layer K/V blocks for the exact token sequence `tokens`.
+// k and v are per layer [len(tokens), width]; the store keeps deep copies,
+// so callers may reuse their buffers. Inserting an already-present sequence
+// refreshes its recency and returns the existing entry. When the insertion
+// pushes the store over its byte budget, unreferenced entries are evicted
+// LRU-first; if the new entry cannot fit even then, it is not stored and an
+// error is returned.
+func (ps *PrefixStore) Insert(tokens []int, k, v []*tensor.Mat) (*Prefix, error) {
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("kvcache: empty prefix")
+	}
+	if len(k) != ps.layers || len(v) != ps.layers {
+		return nil, fmt.Errorf("kvcache: prefix has %d/%d layer blocks, store wants %d", len(k), len(v), ps.layers)
+	}
+	for l := 0; l < ps.layers; l++ {
+		if k[l].Rows != len(tokens) || k[l].Cols != ps.width ||
+			v[l].Rows != len(tokens) || v[l].Cols != ps.width {
+			return nil, fmt.Errorf("kvcache: prefix layer %d shape %dx%d, want %dx%d",
+				l, k[l].Rows, k[l].Cols, len(tokens), ps.width)
+		}
+	}
+
+	node := &ps.root
+	for _, tok := range tokens {
+		child, ok := node.children[tok]
+		if !ok {
+			child = &trieNode{parent: node, tok: tok}
+			if node.children == nil {
+				node.children = map[int]*trieNode{}
+			}
+			node.children[tok] = child
+		}
+		node = child
+	}
+	if node.entry != nil {
+		node.entry.lastUse = ps.tick()
+		return node.entry, nil
+	}
+
+	p := &Prefix{
+		tokens: append([]int(nil), tokens...),
+		K:      make([]*tensor.Mat, ps.layers),
+		V:      make([]*tensor.Mat, ps.layers),
+		node:   node,
+	}
+	for l := 0; l < ps.layers; l++ {
+		p.K[l] = k[l].Clone()
+		p.V[l] = v[l].Clone()
+	}
+	node.entry = p
+	p.lastUse = ps.tick()
+	ps.bytes += p.Bytes()
+	ps.entries++
+	ps.insertions++
+
+	if ps.budget > 0 && ps.bytes > ps.budget {
+		ps.evictOver(p)
+		if ps.bytes > ps.budget {
+			ps.remove(p)
+			return nil, fmt.Errorf("kvcache: prefix of %d tokens (%d bytes) does not fit budget %d",
+				len(tokens), p.Bytes(), ps.budget)
+		}
+	}
+	return p, nil
+}
+
+// Acquire returns the longest stored prefix of `tokens` with its reference
+// count incremented, plus its length; (nil, 0) on a miss. The caller owns
+// one reference and must Release it (typically when the attached slot is
+// freed).
+func (ps *PrefixStore) Acquire(tokens []int) (*Prefix, int) {
+	node := &ps.root
+	var best *Prefix
+	for _, tok := range tokens {
+		child, ok := node.children[tok]
+		if !ok {
+			break
+		}
+		node = child
+		if node.entry != nil {
+			best = node.entry
+		}
+	}
+	if best == nil {
+		ps.misses++
+		ps.missToks += int64(len(tokens))
+		return nil, 0
+	}
+	best.refs++
+	best.lastUse = ps.tick()
+	ps.hits++
+	ps.hitToks += int64(best.Len())
+	return best, best.Len()
+}
+
+// Release drops one reference to p. Releasing below zero is a bookkeeping
+// bug and returns an error.
+func (ps *PrefixStore) Release(p *Prefix) error {
+	if p == nil {
+		return fmt.Errorf("kvcache: release of nil prefix")
+	}
+	if p.refs <= 0 {
+		return fmt.Errorf("kvcache: prefix of %d tokens released more times than acquired", p.Len())
+	}
+	p.refs--
+	return nil
+}
+
+// Evict removes p from the store regardless of the byte budget; it fails if
+// the prefix is still referenced by a slot.
+func (ps *PrefixStore) Evict(p *Prefix) error {
+	if p == nil || p.node == nil || p.node.entry != p {
+		return fmt.Errorf("kvcache: evict of prefix not in store")
+	}
+	if p.refs > 0 {
+		return fmt.Errorf("kvcache: prefix of %d tokens still referenced by %d slots", p.Len(), p.refs)
+	}
+	ps.remove(p)
+	ps.evicts++
+	return nil
+}
+
+// evictOver evicts unreferenced entries, least recently used first, until
+// the store fits its budget. `keep` (the entry just inserted) is never
+// evicted here so Insert can decide its fate explicitly.
+func (ps *PrefixStore) evictOver(keep *Prefix) {
+	for ps.bytes > ps.budget {
+		victim := ps.lruUnreferenced(keep)
+		if victim == nil {
+			return
+		}
+		ps.remove(victim)
+		ps.evicts++
+	}
+}
+
+// lruUnreferenced finds the least recently used entry with no references,
+// excluding `skip`.
+func (ps *PrefixStore) lruUnreferenced(skip *Prefix) *Prefix {
+	var victim *Prefix
+	var walk func(n *trieNode)
+	walk = func(n *trieNode) {
+		if n.entry != nil && n.entry != skip && n.entry.refs == 0 {
+			if victim == nil || n.entry.lastUse < victim.lastUse {
+				victim = n.entry
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(&ps.root)
+	return victim
+}
+
+// remove unlinks an entry and prunes now-empty trie nodes.
+func (ps *PrefixStore) remove(p *Prefix) {
+	ps.bytes -= p.Bytes()
+	ps.entries--
+	n := p.node
+	n.entry = nil
+	p.node = nil
+	for n != nil && n.parent != nil && n.entry == nil && len(n.children) == 0 {
+		delete(n.parent.children, n.tok)
+		n = n.parent
+	}
+}
+
+func (ps *PrefixStore) tick() int64 {
+	ps.clock++
+	return ps.clock
+}

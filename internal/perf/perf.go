@@ -422,6 +422,42 @@ func Prefill(r Request, k Knobs) Result {
 	return finish(r, PhasePrefill, b, tokens, 1)
 }
 
+// PrefillExpected costs a prefill whose leading prefixLen tokens may be
+// served from a shared-prefix KV cache: with probability hitRate the pass
+// prefills only Context-prefixLen suffix tokens against prefixLen cached
+// positions (the Past mechanism above), and with probability 1-hitRate it
+// pays the full cold prefill. The returned Result blends the two outcomes'
+// time, breakdown and processed-token count — the expected admission cost
+// of a template-heavy workload, which is what lets Analyze/Tune size a
+// deployment by its prefix hit rate instead of assuming every prompt is
+// cold. hitRate 0 or prefixLen 0 degrade to a plain Prefill.
+func PrefillExpected(r Request, k Knobs, hitRate float64, prefixLen int) Result {
+	if hitRate == 0 || prefixLen == 0 {
+		return Prefill(r, k)
+	}
+	if math.IsNaN(hitRate) || hitRate < 0 || hitRate > 1 {
+		return infeasible(PhasePrefill, fmt.Sprintf("perf: prefix hit rate %g outside [0,1]", hitRate))
+	}
+	if prefixLen < 0 || prefixLen >= r.Context {
+		return infeasible(PhasePrefill, fmt.Sprintf("perf: prefix length %d outside [0, context %d)", prefixLen, r.Context))
+	}
+	cold := Prefill(r, k)
+	if !cold.Feasible {
+		return cold
+	}
+	hot := r
+	hot.Past = r.Past + prefixLen
+	hot.Context = r.Context - prefixLen
+	warm := Prefill(hot, k)
+	if !warm.Feasible {
+		return warm
+	}
+	b := warm.Breakdown.scale(hitRate)
+	b.add(cold.Breakdown.scale(1 - hitRate))
+	tokens := hitRate*warm.Tokens + (1-hitRate)*cold.Tokens
+	return finish(r, PhasePrefill, b, tokens, 1)
+}
+
 // Decode costs generating Gen tokens autoregressively on top of an existing
 // Context. The KV cache grows by one token per step; the per-step cost is
 // integrated over steps.

@@ -370,3 +370,56 @@ func TestSublinearLatencyInModelSize(t *testing.T) {
 		t.Errorf("bigger model came out faster (%.2fx)", latRatio)
 	}
 }
+
+// The prefix-hit-rate knob: expected prefill cost shrinks monotonically
+// with hit rate, hits cost the suffix-only pass, and invalid knob values
+// are infeasible rather than silently wrong.
+func TestPrefillExpectedPrefixKnob(t *testing.T) {
+	r := req540(model.Int8, 1)
+	k := DefaultKnobs()
+	const prefix = 1792
+
+	cold := Prefill(r, k)
+	zero := PrefillExpected(r, k, 0, prefix)
+	half := PrefillExpected(r, k, 0.5, prefix)
+	full := PrefillExpected(r, k, 1, prefix)
+	for name, res := range map[string]Result{"zero": zero, "half": half, "full": full} {
+		if !res.Feasible {
+			t.Fatalf("%s: infeasible: %s", name, res.Reason)
+		}
+	}
+	if zero.Time != cold.Time {
+		t.Errorf("hitRate 0 time %g != cold %g", zero.Time, cold.Time)
+	}
+	if !(full.Time < half.Time && half.Time < cold.Time) {
+		t.Errorf("times not monotone in hit rate: full %g, half %g, cold %g",
+			full.Time, half.Time, cold.Time)
+	}
+	// An all-hit workload prefills Context-prefix tokens against a cached
+	// past; its time must match that request costed directly.
+	hot := r
+	hot.Context = r.Context - prefix
+	hot.Past = prefix
+	direct := Prefill(hot, k)
+	if math.Abs(full.Time-direct.Time) > 1e-12 {
+		t.Errorf("full-hit time %g != direct suffix prefill %g", full.Time, direct.Time)
+	}
+	if math.Abs(half.Time-(0.5*cold.Time+0.5*direct.Time)) > 1e-9*cold.Time {
+		t.Errorf("half-hit time %g not the blend of %g and %g", half.Time, cold.Time, direct.Time)
+	}
+
+	for name, bad := range map[string]struct {
+		rate float64
+		pl   int
+	}{
+		"rate>1":     {1.5, prefix},
+		"rate<0":     {-0.1, prefix},
+		"rateNaN":    {math.NaN(), prefix},
+		"prefix>ctx": {0.5, r.Context},
+		"prefix<0":   {0.5, -5},
+	} {
+		if res := PrefillExpected(r, k, bad.rate, bad.pl); res.Feasible {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

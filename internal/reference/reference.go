@@ -201,8 +201,8 @@ func AttendSeq(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, slot, steps i
 	total := past + steps
 	inv := float32(1 / math.Sqrt(float64(dh)))
 
-	kRows := tensor.SliceRows(cache.K[layer], slot*cache.MaxLen, slot*cache.MaxLen+total)
-	vRows := tensor.SliceRows(cache.V[layer], slot*cache.MaxLen, slot*cache.MaxLen+total)
+	kRows := cache.RowsK(layer, slot, total)
+	vRows := cache.RowsV(layer, slot, total)
 	out := tensor.New(steps, q.Cols)
 	for hIdx := 0; hIdx < heads; hIdx++ {
 		kvIdx := hIdx / headsPerKV

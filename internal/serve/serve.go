@@ -35,7 +35,13 @@ type Config struct {
 	// Context and Gen are per-request token counts.
 	Context int
 	Gen     int
-	Knobs   perf.Knobs
+	// PrefixHitRate is the fraction of requests whose leading PrefixLen
+	// tokens are served from a shared-prefix KV cache (system prompts,
+	// few-shot templates), so they prefill only the remaining
+	// Context-PrefixLen tokens. Zero models an all-cold workload.
+	PrefixHitRate float64
+	PrefixLen     int
+	Knobs         perf.Knobs
 }
 
 // Metrics is the outcome of an analysis or simulation.
@@ -59,13 +65,15 @@ type Metrics struct {
 	CostPerToken float64
 }
 
-// Analyze computes steady-state pipeline metrics.
+// Analyze computes steady-state pipeline metrics. The prefill tier is
+// costed at the workload's expected admission cost: PrefixHitRate of the
+// requests skip their cached PrefixLen-token template.
 func Analyze(c Config) (Metrics, error) {
-	pre := perf.Prefill(perf.Request{
+	pre := perf.PrefillExpected(perf.Request{
 		Model: c.Model, System: c.Prefill.System, Weights: c.Weights,
 		FFN: c.Prefill.FFN, Attn: c.Prefill.Attn,
 		Batch: c.Prefill.Batch, Context: c.Context,
-	}, c.Knobs)
+	}, c.Knobs, c.PrefixHitRate, c.PrefixLen)
 	if !pre.Feasible {
 		return Metrics{}, fmt.Errorf("serve: prefill tier infeasible: %s", pre.Reason)
 	}

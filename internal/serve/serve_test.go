@@ -400,3 +400,66 @@ func TestMetricsArithmetic(t *testing.T) {
 		t.Errorf("cost %.4f, want %.4f", m.CostPerToken, wantCost)
 	}
 }
+
+// The prefix-hit-rate knob flows through Analyze: a template-heavy
+// workload has a faster prefill tier, which can flip the bottleneck and
+// raise sustainable throughput; an invalid knob is an error.
+func TestAnalyzePrefixHitRate(t *testing.T) {
+	cold := paperConfig()
+	warm := paperConfig()
+	warm.PrefixHitRate = 0.9
+	warm.PrefixLen = 1792
+
+	mc, err := Analyze(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := Analyze(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mw.PrefillService < mc.PrefillService) {
+		t.Errorf("prefix hits did not shrink prefill service: %g vs %g",
+			mw.PrefillService, mc.PrefillService)
+	}
+	if mw.PrefillRate <= mc.PrefillRate {
+		t.Errorf("prefix hits did not raise prefill rate: %g vs %g",
+			mw.PrefillRate, mc.PrefillRate)
+	}
+	if mw.Throughput < mc.Throughput {
+		t.Errorf("prefix hits lowered pipeline throughput: %g vs %g",
+			mw.Throughput, mc.Throughput)
+	}
+
+	bad := paperConfig()
+	bad.PrefixHitRate = 2
+	bad.PrefixLen = 128
+	if _, err := Analyze(bad); err == nil {
+		t.Error("hit rate 2 accepted")
+	}
+	bad = paperConfig()
+	bad.PrefixHitRate = 0.5
+	bad.PrefixLen = bad.Context
+	if _, err := Analyze(bad); err == nil {
+		t.Error("prefix length == context accepted")
+	}
+}
+
+// Tune sees the knob through Analyze: a high hit rate can only improve (or
+// keep) the best achievable throughput under the same SLO.
+func TestTuneWithPrefixHitRate(t *testing.T) {
+	cold := paperConfig()
+	warm := paperConfig()
+	warm.PrefixHitRate = 0.9
+	warm.PrefixLen = 1792
+
+	tc, okc := Tune(cold, math.Inf(1))
+	tw, okw := Tune(warm, math.Inf(1))
+	if !okc || !okw {
+		t.Fatal("tune failed")
+	}
+	if tw.Metrics.Throughput < tc.Metrics.Throughput {
+		t.Errorf("tuned throughput dropped with prefix hits: %g vs %g",
+			tw.Metrics.Throughput, tc.Metrics.Throughput)
+	}
+}
