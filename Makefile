@@ -3,7 +3,13 @@ GO ?= go
 # 10s per fuzz target in CI and `make ci`; raise locally for deeper runs.
 FUZZTIME ?= 10s
 
-.PHONY: test bench fuzz build ci fuzz-smoke bench-json fmt-check
+.PHONY: test bench fuzz build ci fuzz-smoke bench-json fmt-check bench-compare bench-cpu
+
+# Benchmarks the regression gate watches and the allowed ns/op slip. The
+# threshold is generous because the committed baseline may come from
+# different hardware; the gate exists to catch order-of-magnitude slips.
+GATE_BENCHES ?= BenchmarkEngineDecodeStep,BenchmarkContinuousBatching
+GATE_MAX_REGRESS ?= 20
 
 # Tier-1 verification plus race detection in one command.
 test:
@@ -46,12 +52,35 @@ bench-json:
 	@rm -f bench_ci.txt
 	@echo "wrote BENCH_ci.json"
 
+# Regression gate: run the benchmarks into a scratch BENCH_local.json and
+# compare against the committed BENCH_ci.json baseline, which is left
+# untouched — committing a new baseline is a deliberate act (run
+# `make bench-json` and commit the result), not a side effect of the gate.
+bench-compare:
+	@$(GO) test -bench=. -benchmem -run='^$$' . > bench_ci.txt || \
+		{ cat bench_ci.txt; rm -f bench_ci.txt; exit 1; }
+	@cat bench_ci.txt
+	$(GO) run ./cmd/benchjson < bench_ci.txt > BENCH_local.json
+	@rm -f bench_ci.txt
+	$(GO) run ./cmd/benchgate -baseline BENCH_ci.json -new BENCH_local.json \
+		-bench '$(GATE_BENCHES)' -max-regress $(GATE_MAX_REGRESS)
+	@rm -f BENCH_local.json
+
+# CPU profile of the decode hot path for `go tool pprof` (see the README
+# "Performance" section for the reading guide).
+bench-cpu:
+	$(GO) test -bench=BenchmarkEngineDecodeStep -run='^$$' -benchtime=2s \
+		-cpuprofile=cpu.prof -o esti-bench.test .
+	@echo "profile written; inspect with:"
+	@echo "  go tool pprof -top cpu.prof"
+	@echo "  go tool pprof -http=:8080 cpu.prof"
+
 # Mirror of .github/workflows/ci.yml so contributors can reproduce CI
 # locally before pushing: build, vet, gofmt, race tests, fuzz smoke, bench
-# artifact.
+# artifact plus regression gate.
 ci: build
 	$(GO) vet ./...
 	$(MAKE) fmt-check
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
-	$(MAKE) bench-json
+	$(MAKE) bench-compare

@@ -1,0 +1,163 @@
+// Command benchgate is the benchstat-style regression gate for the perf
+// trajectory: it compares gated benchmarks between two BENCH_ci.json
+// documents (the committed baseline and a freshly generated run) and exits
+// nonzero if any gated benchmark's ns/op regressed by more than the
+// allowed percentage.
+//
+//	benchgate -baseline BENCH_baseline.json -new BENCH_ci.json \
+//	    -bench BenchmarkEngineDecodeStep,BenchmarkContinuousBatching \
+//	    -max-regress 20
+//
+// CI runs it after regenerating BENCH_ci.json (see .github/workflows/ci.yml)
+// and `make bench-compare` mirrors it locally. The ns/op threshold is
+// generous by design: the committed baseline may have been measured on
+// different hardware, so that check catches order-of-magnitude slips (an
+// accidentally quadratic hot path, a lost fast path), not single-digit
+// noise. allocs/op, by contrast, is machine-independent and deterministic,
+// so when both files carry it the gate also fails on any allocs/op growth
+// beyond -max-alloc-regress — the check that actually bites on
+// heterogeneous CI runners. A gated benchmark missing from either file is
+// an error — silently skipping a renamed benchmark would make the gate
+// vacuous.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Benchmark mirrors cmd/benchjson's output schema (the fields the gate
+// reads).
+type Benchmark struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+	// Values is the fallback for baselines written before the hoisted
+	// fields existed.
+	Values map[string]float64 `json:"values"`
+}
+
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func (b Benchmark) ns() float64 {
+	if b.NsPerOp > 0 {
+		return b.NsPerOp
+	}
+	return b.Values["ns/op"]
+}
+
+// allocs returns allocs/op and whether the run recorded it.
+func (b Benchmark) allocs() (float64, bool) {
+	if b.AllocsPerOp != nil {
+		return *b.AllocsPerOp, true
+	}
+	v, ok := b.Values["allocs/op"]
+	return v, ok
+}
+
+// metrics is one benchmark's gated readings.
+type metrics struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
+
+func load(path string) (map[string]metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]metrics, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		m := metrics{ns: b.ns()}
+		m.allocs, m.hasAllocs = b.allocs()
+		out[b.Name] = m
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed BENCH_ci.json to compare against")
+	newPath := flag.String("new", "", "freshly generated BENCH_ci.json")
+	benches := flag.String("bench", "BenchmarkEngineDecodeStep,BenchmarkContinuousBatching",
+		"comma-separated benchmark names to gate")
+	maxRegress := flag.Float64("max-regress", 20, "maximum allowed ns/op regression in percent")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 10,
+		"maximum allowed allocs/op regression in percent (checked when both files record allocs)")
+	flag.Parse()
+	if *baselinePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -new are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, okB := base[name]
+		n, okN := fresh[name]
+		if !okB || !okN {
+			fmt.Fprintf(os.Stderr, "benchgate: %s missing (baseline: %v, new: %v)\n", name, okB, okN)
+			failed = true
+			continue
+		}
+		if b.ns <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: %s baseline ns/op is %g\n", name, b.ns)
+			failed = true
+			continue
+		}
+		deltaPct := (n.ns - b.ns) / b.ns * 100
+		status := "ok"
+		if deltaPct > *maxRegress {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-40s %14.0f -> %14.0f ns/op      %+7.1f%%  %s\n", name, b.ns, n.ns, deltaPct, status)
+		if b.hasAllocs && n.hasAllocs {
+			status = "ok"
+			if b.allocs == 0 {
+				// A zero-alloc baseline is an absolute contract — any
+				// allocation at all is a regression (a percentage of
+				// zero would silently skip the check).
+				if n.allocs > 0 {
+					status = "REGRESSED"
+					failed = true
+				}
+				fmt.Printf("%-40s %14.0f -> %14.0f allocs/op  %9s  %s\n", name, b.allocs, n.allocs, "", status)
+			} else {
+				allocPct := (n.allocs - b.allocs) / b.allocs * 100
+				if allocPct > *maxAllocRegress {
+					status = "REGRESSED"
+					failed = true
+				}
+				fmt.Printf("%-40s %14.0f -> %14.0f allocs/op  %+7.1f%%  %s\n", name, b.allocs, n.allocs, allocPct, status)
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: regression gate failed (threshold %+.0f%%)\n", *maxRegress)
+		os.Exit(1)
+	}
+}

@@ -26,6 +26,14 @@ type Benchmark struct {
 	Procs int    `json:"procs"`
 	// Iterations is the b.N the timing was measured over.
 	Iterations int64 `json:"iterations"`
+	// NsPerOp, AllocsPerOp and BytesPerOp are hoisted from Values so the
+	// perf trajectory (and the regression gate in cmd/benchgate) can read
+	// the three headline metrics without knowing benchstat unit strings.
+	// Allocs and bytes are present when the run used -benchmem or the
+	// benchmark calls b.ReportAllocs, as the engine/batching benchmarks do.
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	// Values holds the name/value pairs benchstat consumes: unit -> value
 	// (ns/op always; B/op and allocs/op under -benchmem; any custom
 	// b.ReportMetric units pass through).
@@ -107,8 +115,16 @@ func parse(line string) (Benchmark, bool) {
 		}
 		b.Values[fields[i+1]] = v
 	}
-	if _, ok := b.Values["ns/op"]; !ok {
+	ns, ok := b.Values["ns/op"]
+	if !ok {
 		return Benchmark{}, false
+	}
+	b.NsPerOp = ns
+	if v, ok := b.Values["allocs/op"]; ok {
+		b.AllocsPerOp = &v
+	}
+	if v, ok := b.Values["B/op"]; ok {
+		b.BytesPerOp = &v
 	}
 	return b, true
 }

@@ -15,12 +15,24 @@ func TestParseBenchLine(t *testing.T) {
 			t.Errorf("%s = %g, want %g", unit, got, want)
 		}
 	}
+	if b.NsPerOp != 9612345 {
+		t.Errorf("NsPerOp = %g", b.NsPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 56 {
+		t.Errorf("AllocsPerOp = %v, want 56", b.AllocsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1234 {
+		t.Errorf("BytesPerOp = %v, want 1234", b.BytesPerOp)
+	}
 }
 
 func TestParseWithoutBenchmem(t *testing.T) {
 	b, ok := parse("BenchmarkFig1Decode-16 7 160000 ns/op")
 	if !ok || b.Procs != 16 || b.Values["ns/op"] != 160000 {
 		t.Fatalf("parse = %+v, %v", b, ok)
+	}
+	if b.NsPerOp != 160000 || b.AllocsPerOp != nil || b.BytesPerOp != nil {
+		t.Errorf("hoisted fields: ns %g allocs %v bytes %v", b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
 	}
 }
 

@@ -6,6 +6,12 @@
 // The ring algorithms transfer exactly the volumes the paper's Appendix A
 // cost model assigns them — D·(K-1)/K per chip — which the tests assert by
 // comparing measured mesh traffic against package commcost.
+//
+// Buffer ownership: collective results are allocated from the mesh's
+// message pool; a caller that has fully consumed a result may hand it back
+// with Chip.Recycle so a steady-state SPMD loop triggers no allocation,
+// and a caller that retains it simply lets the GC take it. Transit buffers
+// the collectives receive and fold in are recycled internally.
 package collective
 
 import (
@@ -41,23 +47,27 @@ func AllGather(o Op, g hardware.AxisGroup, shard []float32) []float32 {
 		return out
 	}
 	chunkLen := len(shard)
-	parts := make([][]float32, size)
-	parts[rank] = shard
+	out := c.Buffer(size * chunkLen)
+	copy(out[rank*chunkLen:(rank+1)*chunkLen], shard)
 	next := c.GroupPeer(g, (rank+1)%size)
 	prev := c.GroupPeer(g, (rank-1+size)%size)
 	cur := shard
 	for s := 0; s < size-1; s++ {
-		c.Send(next, o.tag(s), cur)
+		if s == 0 {
+			c.Send(next, o.tag(s), cur) // the caller keeps its shard
+		} else {
+			// Relay the buffer received last step without a copy: its
+			// contents are already folded into out.
+			c.SendOwned(next, o.tag(s), cur)
+		}
 		cur = c.Recv(prev, o.tag(s))
 		if len(cur) != chunkLen {
 			panic(fmt.Sprintf("collective: all-gather chunk %d != %d", len(cur), chunkLen))
 		}
-		parts[(rank-s-1+2*size)%size] = cur
+		idx := (rank - s - 1 + 2*size) % size
+		copy(out[idx*chunkLen:(idx+1)*chunkLen], cur)
 	}
-	out := make([]float32, 0, size*chunkLen)
-	for i := 0; i < size; i++ {
-		out = append(out, parts[i]...)
-	}
+	c.Recycle(cur)
 	return out
 }
 
@@ -77,8 +87,8 @@ func AllGatherBidirectional(o Op, g hardware.AxisGroup, shard []float32) []float
 		return out
 	}
 	chunkLen := len(shard)
-	parts := make([][]float32, size)
-	parts[rank] = shard
+	out := c.Buffer(size * chunkLen)
+	copy(out[rank*chunkLen:(rank+1)*chunkLen], shard)
 	next := c.GroupPeer(g, (rank+1)%size)
 	prev := c.GroupPeer(g, (rank-1+size)%size)
 	fwd := shard // chunk moving in +1 direction (received from prev)
@@ -86,26 +96,36 @@ func AllGatherBidirectional(o Op, g hardware.AxisGroup, shard []float32) []float
 	// The forward lane delivers chunks rank-1-s, the backward lane chunks
 	// rank+1+s; together they cover all K-1 remote chunks in
 	// ceil((K-1)/2) steps, the backward lane idling on the last step when
-	// K-1 is odd.
+	// K-1 is odd. As in AllGather, relayed chunks are handed off without
+	// a copy once their contents are folded into out.
 	for s := 0; s < fwdSteps(size); s++ {
 		backActive := s < bwdSteps(size)
-		c.Send(next, o.tag(2*s), fwd)
-		if backActive {
-			c.Send(prev, o.tag(2*s+1), bwd)
+		if s == 0 {
+			c.Send(next, o.tag(2*s), fwd)
+			if backActive {
+				c.Send(prev, o.tag(2*s+1), bwd)
+			}
+		} else {
+			c.SendOwned(next, o.tag(2*s), fwd)
+			if backActive {
+				c.SendOwned(prev, o.tag(2*s+1), bwd)
+			}
 		}
 		fwd = c.Recv(prev, o.tag(2*s))
 		if len(fwd) != chunkLen {
 			panic("collective: bidirectional all-gather chunk size mismatch")
 		}
-		parts[(rank-s-1+2*size)%size] = fwd
+		idx := (rank - s - 1 + 2*size) % size
+		copy(out[idx*chunkLen:(idx+1)*chunkLen], fwd)
 		if backActive {
 			bwd = c.Recv(next, o.tag(2*s+1))
-			parts[(rank+s+1)%size] = bwd
+			idx = (rank + s + 1) % size
+			copy(out[idx*chunkLen:(idx+1)*chunkLen], bwd)
 		}
 	}
-	out := make([]float32, 0, size*chunkLen)
-	for i := 0; i < size; i++ {
-		out = append(out, parts[i]...)
+	c.Recycle(fwd)
+	if bwdSteps(size) > 0 {
+		c.Recycle(bwd)
 	}
 	return out
 }
@@ -132,7 +152,7 @@ func ReduceScatter(o Op, g hardware.AxisGroup, full []float32) []float32 {
 	}
 	chunkLen := len(full) / size
 	chunk := func(buf []float32, i int) []float32 { return buf[i*chunkLen : (i+1)*chunkLen] }
-	acc := make([]float32, len(full))
+	acc := c.Buffer(len(full))
 	copy(acc, full)
 	next := c.GroupPeer(g, (rank+1)%size)
 	prev := c.GroupPeer(g, (rank-1+size)%size)
@@ -141,13 +161,19 @@ func ReduceScatter(o Op, g hardware.AxisGroup, full []float32) []float32 {
 		c.Send(next, o.tag(s), chunk(acc, sendIdx))
 		recvIdx := (rank - 2 - s + 3*size) % size
 		in := c.Recv(prev, o.tag(s))
+		if len(in) != chunkLen {
+			panic(fmt.Sprintf("collective: reduce-scatter chunk %d != %d", len(in), chunkLen))
+		}
 		dst := chunk(acc, recvIdx)
+		in = in[:len(dst)]
 		for i, v := range in {
 			dst[i] += v
 		}
+		c.Recycle(in)
 	}
-	out := make([]float32, chunkLen)
+	out := c.Buffer(chunkLen)
 	copy(out, chunk(acc, rank))
+	c.Recycle(acc)
 	return out
 }
 
@@ -157,7 +183,9 @@ func ReduceScatter(o Op, g hardware.AxisGroup, full []float32) []float32 {
 func AllReduce(o Op, g hardware.AxisGroup, full []float32) []float32 {
 	shard := ReduceScatter(o, g, full)
 	o2 := Op{Chip: o.Chip, ID: o.ID + 1}
-	return AllGather(o2, g, shard)
+	out := AllGather(o2, g, shard)
+	o.Chip.Recycle(shard) // AllGather copied it into out
+	return out
 }
 
 // AllToAll sends shards[i] to group member i and returns the received
@@ -171,7 +199,7 @@ func AllToAll(o Op, g hardware.AxisGroup, shards [][]float32) [][]float32 {
 		panic(fmt.Sprintf("collective: all-to-all %d shards for group of %d", len(shards), size))
 	}
 	out := make([][]float32, size)
-	own := make([]float32, len(shards[rank]))
+	own := c.Buffer(len(shards[rank]))
 	copy(own, shards[rank])
 	out[rank] = own
 	for i := 0; i < size; i++ {

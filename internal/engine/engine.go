@@ -109,11 +109,14 @@ func shardWeight(full *tensor.Mat, rows, cols []int, int8w bool) weight {
 	return weight{f: m}
 }
 
-func (w weight) mul(a *tensor.Mat) *tensor.Mat {
+// mulA multiplies activations by the weight shard with the output taken
+// from a chip's scratch arena — the only multiply form the per-pass code
+// uses, so a steady-state pass allocates nothing.
+func (w weight) mulA(ar *tensor.Arena, a *tensor.Mat) *tensor.Mat {
 	if w.q != nil {
-		return quant.MatMul(a, w.q)
+		return quant.MatMulInto(ar.Mat(a.Rows, w.q.Cols), a, w.q)
 	}
-	return tensor.MatMul(a, w.f)
+	return tensor.MatMulInto(ar.Mat(a.Rows, w.f.Cols), a, w.f)
 }
 
 // chipLayer is one layer's weight shards on one chip.
@@ -140,6 +143,27 @@ type chipState struct {
 	opID   uint64
 	// wg carries the weight-gathered path's state (nil otherwise).
 	wg *wgState
+
+	// Per-chip scratch: every temporary of a forward pass comes from the
+	// arena (reset at the top of each pass) and the attention softmax runs
+	// in scr (pre-sized to maxLen), so a steady-state decode iteration
+	// performs zero heap allocations on this chip.
+	arena tensor.Arena
+	scr   reference.AttnScratch
+	// logits is this chip's output of the latest pass (arena-backed, valid
+	// until the chip's next pass; public APIs clone or copy out of it).
+	logits *tensor.Mat
+	// shards is a reusable shard-pointer table for the attention
+	// all-to-alls (shardTab); contents are transient within one layer.
+	shards [][]float32
+}
+
+// shardTab returns a reusable length-n shard table; contents are stale.
+func (st *chipState) shardTab(n int) [][]float32 {
+	if cap(st.shards) < n {
+		st.shards = make([][]float32, 2*n)
+	}
+	return st.shards[:n]
 }
 
 // Engine is a sharded inference session.
@@ -154,6 +178,16 @@ type Engine struct {
 	// slotPfx holds, per slot, the acquired prefix ref whose store
 	// references ReleaseSlot must give back.
 	slotPfx []*PrefixRef
+
+	// fw carries the current pass's arguments to the per-chip SPMD body,
+	// and runFwd is that body bound once at construction — so issuing a
+	// decode step allocates neither an argument struct nor a closure.
+	fw struct {
+		tokens []int
+		steps  int
+		active []bool
+	}
+	runFwd func(c *mesh.Chip)
 }
 
 // New shards the reference weights onto a mesh. It validates the
@@ -207,8 +241,27 @@ func New(w *reference.Weights, t hardware.Torus, opts Options, batch, maxLen int
 	e.chips = make([]*chipState, n)
 	for r := 0; r < n; r++ {
 		e.chips[r] = e.buildChip(w, r)
+		e.chips[r].scr.Reserve(maxLen)
 	}
+	e.runFwd = e.chipForward
 	return e, nil
+}
+
+// Reset returns every slot to empty — lengths zeroed, allocations freed,
+// acquired prefix references given back — without reallocating any
+// storage, so a benchmark or serving loop can reuse one engine session
+// across logical sessions. Like kvcache.Reset, slot storage is not zeroed;
+// use ReleaseSlot for per-slot eviction hygiene on a live batch.
+func (e *Engine) Reset() {
+	for _, st := range e.chips {
+		st.cache.Reset()
+	}
+	for s, ref := range e.slotPfx {
+		if ref != nil {
+			e.slotPfx[s] = nil
+			e.ReleasePrefix(ref)
+		}
+	}
 }
 
 // Mesh exposes the fabric for traffic inspection.
@@ -376,29 +429,64 @@ func (st *chipState) op(c *mesh.Chip) collective.Op {
 }
 
 // agCols all-gathers column shards into a full-width matrix (group-rank
-// column order), transposing so the flat collective concatenates columns.
-func agCols(o collective.Op, g hardware.AxisGroup, m *tensor.Mat, size int) *tensor.Mat {
-	tr := tensor.Transpose(m)
-	full := collective.AllGather(o, g, tr.Data)
-	return tensor.Transpose(tensor.FromSlice(full, tr.Rows*size, tr.Cols))
+// column order). The shard is gathered row-major as-is and each group
+// member's chunk is copied into its column block — same wire volume as
+// gathering a transposed shard, without the two transposes. Temporaries
+// come from the chip arena and the gathered wire buffer goes back to the
+// mesh pool; a group of one returns m itself (the collective would move
+// zero bytes), so the single-chip hot path does no work at all. The Op
+// argument is evaluated by the caller either way, keeping collective ids
+// in lockstep across chips and group sizes.
+func agCols(ar *tensor.Arena, o collective.Op, g hardware.AxisGroup, m *tensor.Mat, size int) *tensor.Mat {
+	if size == 1 {
+		return m
+	}
+	full := collective.AllGather(o, g, m.Data)
+	out := ar.Mat(m.Rows, m.Cols*size)
+	per := m.Rows * m.Cols
+	for r := 0; r < size; r++ {
+		chunk := full[r*per : (r+1)*per]
+		for i := 0; i < m.Rows; i++ {
+			copy(out.Row(i)[r*m.Cols:(r+1)*m.Cols], chunk[i*m.Cols:(i+1)*m.Cols])
+		}
+	}
+	o.Chip.Recycle(full)
+	return out
 }
 
 // rsCols reduce-scatters a partial-sum matrix over its columns, returning
-// this chip's column chunk of the summed matrix.
-func rsCols(o collective.Op, g hardware.AxisGroup, m *tensor.Mat, size int) *tensor.Mat {
-	tr := tensor.Transpose(m)
+// this chip's column chunk of the summed matrix. The reduction needs
+// column chunks contiguous on the wire, so the input is transposed in and
+// the shard transposed back. Group-of-one returns m itself; callers treat
+// the result as freshly computed either way (the inputs are always arena
+// temporaries that are not read again).
+func rsCols(ar *tensor.Arena, o collective.Op, g hardware.AxisGroup, m *tensor.Mat, size int) *tensor.Mat {
+	if size == 1 {
+		return m
+	}
+	tr := tensor.TransposeInto(ar.Mat(m.Cols, m.Rows), m)
 	shard := collective.ReduceScatter(o, g, tr.Data)
-	return tensor.Transpose(tensor.FromSlice(shard, tr.Rows/size, tr.Cols))
+	shMat := tensor.Mat{Rows: m.Cols / size, Cols: m.Rows, Data: shard}
+	out := tensor.TransposeInto(ar.Mat(m.Rows, m.Cols/size), &shMat)
+	o.Chip.Recycle(shard)
+	return out
 }
 
 // shardNorm RMS-normalizes an E-sharded activation using a per-token
 // all-reduce of local sums of squares. The buffer is padded to a multiple
 // of the group size so row counts that don't divide the chip count — e.g.
-// a single admitted prompt's tokens — reduce cleanly.
+// a single admitted prompt's tokens — reduce cleanly. The op id is always
+// minted (ids stay in lockstep); a group of one skips the zero-byte
+// all-reduce itself.
 func shardNorm(c *mesh.Chip, st *chipState, x *tensor.Mat, gain []float32, eTotal int) *tensor.Mat {
+	// op() advances the id by 2, exactly the two ids AllReduce consumes.
+	op := st.op(c)
 	_, groupSize := c.GroupRank(hardware.GroupXYZ)
 	padded := (x.Rows + groupSize - 1) / groupSize * groupSize
-	sumsq := make([]float32, padded)
+	sumsq := st.arena.Floats(padded)
+	for i := x.Rows; i < padded; i++ {
+		sumsq[i] = 0
+	}
 	for i := 0; i < x.Rows; i++ {
 		var s float32
 		for _, v := range x.Row(i) {
@@ -406,15 +494,21 @@ func shardNorm(c *mesh.Chip, st *chipState, x *tensor.Mat, gain []float32, eTota
 		}
 		sumsq[i] = s
 	}
-	// op() advances the id by 2, exactly the two ids AllReduce consumes.
-	total := collective.AllReduce(st.op(c), hardware.GroupXYZ, sumsq)
-	out := tensor.New(x.Rows, x.Cols)
+	total := sumsq
+	if groupSize > 1 {
+		total = collective.AllReduce(op, hardware.GroupXYZ, sumsq)
+	}
+	out := st.arena.Mat(x.Rows, x.Cols)
+	gain = gain[:x.Cols]
 	for i := 0; i < x.Rows; i++ {
 		inv := invSqrt(total[i]/float32(eTotal) + 1e-6)
 		src, dst := x.Row(i), out.Row(i)
 		for j := range src {
 			dst[j] = src[j] * inv * gain[j]
 		}
+	}
+	if groupSize > 1 {
+		c.Recycle(total)
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 
 	"esti/internal/collective"
 	"esti/internal/hardware"
@@ -16,21 +15,37 @@ import (
 
 // Prefill processes `steps` new tokens per sequence (sequence-major) across
 // the mesh and returns the full logits [batch·steps, vocab] (identical on
-// every chip; chip 0's copy is returned).
+// every chip; chip 0's copy is returned). The returned matrix is owned by
+// the caller.
 func (e *Engine) Prefill(tokens []int, steps int) *tensor.Mat {
 	if len(tokens) != e.batch*steps {
 		panic(fmt.Sprintf("engine: %d tokens for batch %d × steps %d", len(tokens), e.batch, steps))
 	}
-	return e.forward(tokens, steps, nil)
+	out := e.forward(tokens, steps, nil)
+	if e.ownsResult() {
+		return out
+	}
+	return out.Clone()
 }
 
 // Decode runs one autoregressive step from each sequence's last token and
-// returns [batch, vocab] logits.
+// returns [batch, vocab] logits (caller-owned). The allocation-free form
+// is DecodeInto.
 func (e *Engine) Decode(last []int) *tensor.Mat {
+	return e.DecodeInto(nil, last)
+}
+
+// DecodeInto runs one decode step writing the [batch, vocab] logits into
+// dst (reshaped, reusing its buffer) and returns dst; a nil dst allocates
+// a fresh matrix. With a caller-reused dst, a steady-state decode step
+// performs zero heap allocations end to end — the engine's temporaries
+// come from per-chip arenas, attention reads the KV cache through
+// zero-copy views, and the softmax runs in a pre-sized per-chip scratch.
+func (e *Engine) DecodeInto(dst *tensor.Mat, last []int) *tensor.Mat {
 	if len(last) != e.batch {
 		panic(fmt.Sprintf("engine: %d last-tokens for batch %d", len(last), e.batch))
 	}
-	return e.forward(last, 1, nil)
+	return e.finish(dst, e.forward(last, 1, nil))
 }
 
 // DecodeSlots runs one variable-length decode step: every active slot
@@ -39,15 +54,43 @@ func (e *Engine) Decode(last []int) *tensor.Mat {
 // active[s] == false are skipped entirely: their last[s] is ignored, their
 // logits row is zero, and their cache does not grow, so a freed slot idles
 // at no cost until PrefillSlot admits the next request into it. A nil mask
-// decodes every slot. Returns [batch, vocab] logits.
+// decodes every slot. Returns [batch, vocab] logits (caller-owned).
 func (e *Engine) DecodeSlots(last []int, active []bool) *tensor.Mat {
+	return e.DecodeSlotsInto(nil, last, active)
+}
+
+// DecodeSlotsInto is DecodeSlots writing into dst (nil allocates): the
+// allocation-free hot path a scheduler drives, with the same zero-alloc
+// contract as DecodeInto.
+func (e *Engine) DecodeSlotsInto(dst *tensor.Mat, last []int, active []bool) *tensor.Mat {
 	if len(last) != e.batch {
 		panic(fmt.Sprintf("engine: %d last-tokens for batch %d", len(last), e.batch))
 	}
 	if active != nil && len(active) != e.batch {
 		panic(fmt.Sprintf("engine: %d mask entries for batch %d", len(active), e.batch))
 	}
-	return e.forward(last, 1, active)
+	return e.finish(dst, e.forward(last, 1, active))
+}
+
+// finish hands the pass's logits to the caller: arena-backed results are
+// copied into dst (or cloned when dst is nil); a result the forward pass
+// freshly allocated — the weight-gathered path's host-side assembly — is
+// returned as-is when no dst is supplied, since it is already
+// caller-owned.
+func (e *Engine) finish(dst, logits *tensor.Mat) *tensor.Mat {
+	if dst == nil {
+		if e.ownsResult() {
+			return logits
+		}
+		return logits.Clone()
+	}
+	return tensor.CopyInto(dst, logits)
+}
+
+// ownsResult reports whether forward's return value is freshly allocated
+// (weight-gathered host assembly) rather than arena-backed.
+func (e *Engine) ownsResult() bool {
+	return e.opts.FFN == partition.FFNWeightGatheredXYZ
 }
 
 // Generate greedily decodes `gen` tokens after prefilling, mirroring
@@ -61,7 +104,7 @@ func (e *Engine) Generate(prompt []int, promptLen, gen int) [][]int {
 		out[s] = append(out[s], last[s])
 	}
 	for g := 1; g < gen; g++ {
-		logits = e.Decode(last)
+		logits = e.DecodeInto(logits, last)
 		for s := 0; s < e.batch; s++ {
 			last[s] = argmaxRow(logits, s)
 			out[s] = append(out[s], last[s])
@@ -82,59 +125,69 @@ func argmaxRow(m *tensor.Mat, r int) int {
 }
 
 // forward runs the SPMD program on every chip and returns chip 0's logits.
-// A non-nil active mask (steps must be 1) zeroes inactive slots end to end:
+// The result is arena-backed: valid until the engine's next pass. A
+// non-nil active mask (steps must be 1) zeroes inactive slots end to end:
 // their embedding rows are zero, their K/V are neither appended nor
 // advanced, and their attention output is zero.
 func (e *Engine) forward(tokens []int, steps int, active []bool) *tensor.Mat {
 	if e.opts.FFN == partition.FFNWeightGatheredXYZ {
 		return e.forwardWG(tokens, steps, active)
 	}
+	e.fw.tokens, e.fw.steps, e.fw.active = tokens, steps, active
+	e.m.Run(e.runFwd)
+	return e.chips[0].logits
+}
+
+// chipForward is one chip's body of the forward pass, bound to e.runFwd at
+// construction so issuing a pass allocates no closure. Every temporary
+// comes from the chip's arena.
+func (e *Engine) chipForward(c *mesh.Chip) {
+	tokens, steps, active := e.fw.tokens, e.fw.steps, e.fw.active
+	st := e.chips[c.Rank]
+	ar := &st.arena
+	ar.Reset()
 	nTok := e.batch * steps
-	results := make([]*tensor.Mat, e.m.Chips())
-	var mu sync.Mutex
-	e.m.Run(func(c *mesh.Chip) {
-		st := e.chips[c.Rank]
 
-		// Embedding lookup onto this chip's residual-stream slice.
-		x := tensor.New(nTok, st.embedCols.Cols)
-		for i, tok := range tokens {
-			if active != nil && !active[i/steps] {
-				continue // inactive slot: zero row
-			}
-			if tok < 0 || tok >= e.cfg.Vocab {
-				panic(fmt.Sprintf("engine: token %d out of vocab %d", tok, e.cfg.Vocab))
-			}
-			copy(x.Row(i), st.embedCols.Row(tok))
+	// Embedding lookup onto this chip's residual-stream slice. With no
+	// mask every row is written below, so the arena matrix only needs
+	// zeroing (for inactive slots' rows) when a mask is present.
+	x := ar.Mat(nTok, st.embedCols.Cols)
+	if active != nil {
+		x.Zero()
+	}
+	for i, tok := range tokens {
+		if active != nil && !active[i/steps] {
+			continue // inactive slot: zero row
 		}
-
-		for l := range st.layers {
-			cl := &st.layers[l]
-			if e.cfg.ParallelBlock {
-				h := shardNorm(c, st, x, cl.normGain, e.cfg.DModel)
-				attnY := e.attnBlock(c, st, cl, l, h, steps, active)
-				ffnY := e.ffnBlock(c, st, cl, h)
-				x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
-			} else {
-				h := shardNorm(c, st, x, cl.normGain, e.cfg.DModel)
-				x = tensor.AddInPlace(x, e.attnBlock(c, st, cl, l, h, steps, active))
-				h2 := shardNorm(c, st, x, cl.ffnNormGain, e.cfg.DModel)
-				x = tensor.AddInPlace(x, e.ffnBlock(c, st, cl, h2))
-			}
+		if tok < 0 || tok >= e.cfg.Vocab {
+			panic(fmt.Sprintf("engine: token %d out of vocab %d", tok, e.cfg.Vocab))
 		}
-		e.advanceChip(c, st, steps, active)
+		copy(x.Row(i), st.embedCols.Row(tok))
+	}
 
-		final := shardNorm(c, st, x, st.finalGain, e.cfg.DModel)
-		// Logits: gather the full final activation, multiply by this
-		// chip's vocab-row block, then gather the vocab dimension.
-		fullFinal := agCols(st.op(c), hardware.GroupXYZ, final, e.m.Chips())
-		logitsLocal := tensor.MatMulT(fullFinal, st.embedRows)
-		logits := agCols(st.op(c), hardware.GroupXYZ, logitsLocal, e.m.Chips())
+	for l := range st.layers {
+		cl := &st.layers[l]
+		if e.cfg.ParallelBlock {
+			h := shardNorm(c, st, x, cl.normGain, e.cfg.DModel)
+			attnY := e.attnBlock(c, st, cl, l, h, steps, active)
+			ffnY := e.ffnBlock(c, st, cl, h)
+			x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
+		} else {
+			h := shardNorm(c, st, x, cl.normGain, e.cfg.DModel)
+			x = tensor.AddInPlace(x, e.attnBlock(c, st, cl, l, h, steps, active))
+			h2 := shardNorm(c, st, x, cl.ffnNormGain, e.cfg.DModel)
+			x = tensor.AddInPlace(x, e.ffnBlock(c, st, cl, h2))
+		}
+	}
+	e.advanceChip(c, st, steps, active)
 
-		mu.Lock()
-		results[c.Rank] = logits
-		mu.Unlock()
-	})
-	return results[0]
+	final := shardNorm(c, st, x, st.finalGain, e.cfg.DModel)
+	// Logits: gather the full final activation, multiply by this
+	// chip's vocab-row block, then gather the vocab dimension.
+	n := e.m.Chips()
+	fullFinal := agCols(ar, st.op(c), hardware.GroupXYZ, final, n)
+	logitsLocal := tensor.MatMulTInto(ar.Mat(fullFinal.Rows, st.embedRows.Rows), fullFinal, st.embedRows)
+	st.logits = agCols(ar, st.op(c), hardware.GroupXYZ, logitsLocal, n)
 }
 
 // advanceChip commits the pass's appended positions on this chip's cache
@@ -185,11 +238,12 @@ func (e *Engine) ffnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.
 // Communication per layer: one AG and one RS of the full [tokens, E]
 // activations — the 2·B·L·E volume of Section 3.2.1.
 func (e *Engine) ffn1D(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat) *tensor.Mat {
+	ar := &st.arena
 	n := e.m.Chips()
-	hFull := agCols(st.op(c), hardware.GroupXYZ, h, n)
-	act := e.activate(cl, hFull)
-	partial := cl.wDown.mul(act) // [tokens, E] partialsum over chips
-	return rsCols(st.op(c), hardware.GroupXYZ, partial, n)
+	hFull := agCols(ar, st.op(c), hardware.GroupXYZ, h, n)
+	act := e.activate(st, cl, hFull)
+	partial := cl.wDown.mulA(ar, act) // [tokens, E] partialsum over chips
+	return rsCols(ar, st.op(c), hardware.GroupXYZ, partial, n)
 }
 
 // ffn2D: the Figure 2(b) program. All-gather over Y·Z assembles this x
@@ -200,40 +254,42 @@ func (e *Engine) ffn1D(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat
 // Y·Z reduce-scatter back into the E shard. Activations are never fully
 // replicated.
 func (e *Engine) ffn2D(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat) *tensor.Mat {
+	ar := &st.arena
 	t := e.torus
 	yzGroup := hardware.GroupYZ
 	xGroup := hardware.GroupX
 	yzSize := t.Y * t.Z
 
-	hx := agCols(st.op(c), yzGroup, h, yzSize) // [tokens, E/X] in stripe order
-	upPartial := cl.wUp.mul(hx)
-	upShard := rsCols(st.op(c), xGroup, upPartial, t.X) // [tokens, F/(X·YZ)]
+	hx := agCols(ar, st.op(c), yzGroup, h, yzSize) // [tokens, E/X] in stripe order
+	upPartial := cl.wUp.mulA(ar, hx)
+	upShard := rsCols(ar, st.op(c), xGroup, upPartial, t.X) // [tokens, F/(X·YZ)]
 
 	var actShard *tensor.Mat
 	if e.cfg.FFNKind == model.SwiGLU {
-		gatePartial := cl.wGate.mul(hx) // [tokens, F/YZ] partialsum-x
-		gateShard := rsCols(st.op(c), xGroup, gatePartial, t.X)
-		tensor.SiLU(gateShard)
-		actShard = tensor.Mul(gateShard, upShard)
+		gatePartial := cl.wGate.mulA(ar, hx) // [tokens, F/YZ] partialsum-x
+		gateShard := rsCols(ar, st.op(c), xGroup, gatePartial, t.X)
+		tensor.SiLUFast(gateShard)
+		actShard = tensor.MulInto(gateShard, gateShard, upShard)
 	} else {
 		tensor.GELU(upShard)
 		actShard = upShard
 	}
 
-	actFull := agCols(st.op(c), xGroup, actShard, t.X) // [tokens, F/YZ]
-	downPartial := cl.wDown.mul(actFull)               // [tokens, E/X] partialsum-yz
-	return rsCols(st.op(c), yzGroup, downPartial, yzSize)
+	actFull := agCols(ar, st.op(c), xGroup, actShard, t.X) // [tokens, F/YZ]
+	downPartial := cl.wDown.mulA(ar, actFull)              // [tokens, E/X] partialsum-yz
+	return rsCols(ar, st.op(c), yzGroup, downPartial, yzSize)
 }
 
 // activate applies the FFN nonlinearity on full-width (1D layout) blocks.
-func (e *Engine) activate(cl *chipLayer, hFull *tensor.Mat) *tensor.Mat {
+func (e *Engine) activate(st *chipState, cl *chipLayer, hFull *tensor.Mat) *tensor.Mat {
+	ar := &st.arena
 	if e.cfg.FFNKind == model.SwiGLU {
-		gate := cl.wGate.mul(hFull)
-		up := cl.wUp.mul(hFull)
-		tensor.SiLU(gate)
-		return tensor.Mul(gate, up)
+		gate := cl.wGate.mulA(ar, hFull)
+		up := cl.wUp.mulA(ar, hFull)
+		tensor.SiLUFast(gate)
+		return tensor.MulInto(gate, gate, up)
 	}
-	act := cl.wUp.mul(hFull)
+	act := cl.wUp.mulA(ar, hFull)
 	tensor.GELU(act)
 	return act
 }
@@ -241,59 +297,80 @@ func (e *Engine) activate(cl *chipLayer, hFull *tensor.Mat) *tensor.Mat {
 // attnBlock runs the attention sub-block on the E-sharded normed input,
 // returning the E-sharded output.
 func (e *Engine) attnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, layer int, h *tensor.Mat, steps int, active []bool) *tensor.Mat {
+	ar := &st.arena
 	n := e.m.Chips()
 	// Projections need the full-width input (head-block sharding of W_Q
 	// contracts all of E). In the production system this all-gather is
 	// fused with the FFN input collective; here it stands alone.
-	hFull := agCols(st.op(c), hardware.GroupXYZ, h, n)
-	qLocal := cl.wq.mul(hFull) // [tokens, headsPC·dh]
-	kNew := cl.wk.mul(hFull)   // per variant: full KV heads or this chip's block
-	vNew := cl.wv.mul(hFull)
+	hFull := agCols(ar, st.op(c), hardware.GroupXYZ, h, n)
+	qLocal := cl.wq.mulA(ar, hFull) // [tokens, headsPC·dh]
 
 	var outLocal *tensor.Mat
 	if e.opts.Attn == partition.AttnShardBatch {
-		outLocal = e.attnBatchSharded(c, st, layer, qLocal, kNew, vNew, steps, active)
+		// Batch-sharded: this chip caches only its own sequences' K/V, so
+		// project only those rows — the full-batch projection would throw
+		// away (n-1)/n of its output. The weights are still the full K/V
+		// projections (every chip can serve any sequence); only the token
+		// rows are restricted.
+		rowsPC := e.batch / n * steps
+		hMine := tensor.RowsView(hFull, c.Rank*rowsPC, (c.Rank+1)*rowsPC)
+		kMine := cl.wk.mulA(ar, &hMine)
+		vMine := cl.wv.mulA(ar, &hMine)
+		outLocal = e.attnBatchSharded(c, st, layer, qLocal, kMine, vMine, steps, active)
 	} else {
+		kNew := cl.wk.mulA(ar, hFull) // full KV heads or this chip's block
+		vNew := cl.wv.mulA(ar, hFull)
 		// Head-sharded: the local cache holds this chip's KV heads (or
 		// the replicated multiquery head); everything is chip-local.
-		outLocal = appendAndAttend(e.cfg.HeadDim, qLocal, st.cache, layer, e.batch, steps, active, kNew, vNew)
+		outLocal = appendAndAttendInto(ar.Mat(qLocal.Rows, qLocal.Cols),
+			e.cfg.HeadDim, qLocal, st.cache, layer, e.batch, steps, active, kNew, vNew, &st.scr)
 	}
 
-	partial := cl.wo.mul(outLocal) // [tokens, E] partialsum over chips
-	return rsCols(st.op(c), hardware.GroupXYZ, partial, n)
+	partial := cl.wo.mulA(ar, outLocal) // [tokens, E] partialsum over chips
+	return rsCols(ar, st.op(c), hardware.GroupXYZ, partial, n)
 }
 
-// appendAndAttend appends the new K/V and computes attention for `seqs`
-// query blocks against the matching cache slots. With a mask, inactive
-// slots are skipped (zero output, no append); with nil, all slots run in
-// lockstep at a uniform depth.
-func appendAndAttend(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, seqs, steps int, active []bool, kNew, vNew *tensor.Mat) *tensor.Mat {
+// appendAndAttendInto appends the new K/V and computes attention for
+// `seqs` query blocks against the matching cache slots, writing into out
+// (which must be [q.Rows, q.Cols]). With a mask, inactive slots are
+// skipped (zero output, no append); with nil, all slots run in lockstep at
+// a uniform depth. Everything is views and fused kernels — no temporaries.
+func appendAndAttendInto(out *tensor.Mat, dh int, q *tensor.Mat, cache *kvcache.Cache, layer, seqs, steps int, active []bool, kNew, vNew *tensor.Mat, scr *reference.AttnScratch) *tensor.Mat {
 	if active == nil {
 		cache.Append(layer, kNew, vNew, steps)
-		return reference.Attend(dh, q, cache, layer, seqs, steps)
+		for s := 0; s < seqs; s++ {
+			qv := tensor.RowsView(q, s*steps, (s+1)*steps)
+			ov := tensor.RowsView(out, s*steps, (s+1)*steps)
+			reference.AttendSeqInto(&ov, dh, &qv, cache, layer, s, steps, scr)
+		}
+		return out
 	}
-	out := tensor.New(q.Rows, q.Cols)
+	out.Zero()
 	for s := 0; s < seqs; s++ {
 		if !active[s] {
 			continue
 		}
-		k := tensor.SliceRows(kNew, s*steps, (s+1)*steps)
-		v := tensor.SliceRows(vNew, s*steps, (s+1)*steps)
-		cache.AppendSeq(layer, s, k, v, steps)
-		qs := tensor.SliceRows(q, s*steps, (s+1)*steps)
-		oh := reference.AttendSeq(dh, qs, cache, layer, s, steps)
-		copy(out.Data[s*steps*q.Cols:(s+1)*steps*q.Cols], oh.Data)
+		kv := tensor.RowsView(kNew, s*steps, (s+1)*steps)
+		vv := tensor.RowsView(vNew, s*steps, (s+1)*steps)
+		cache.AppendSeq(layer, s, &kv, &vv, steps)
+		qv := tensor.RowsView(q, s*steps, (s+1)*steps)
+		ov := tensor.RowsView(out, s*steps, (s+1)*steps)
+		reference.AttendSeqInto(&ov, dh, &qv, cache, layer, s, steps, scr)
 	}
 	return out
 }
 
 // attnBatchSharded reshards Q from head-sharded to batch-sharded with an
 // all-to-all, attends against this chip's sequence shard of the KV cache,
-// and reshards the attention output back (Figure 5(b)). K/V arrive
-// replicated from the projection (multiquery K/V are identical on every
-// chip; batch-sharded multihead stores full K/V projections), so each chip
-// just slices its own sequences' rows into its cache shard.
-func (e *Engine) attnBatchSharded(c *mesh.Chip, st *chipState, layer int, qLocal, kNew, vNew *tensor.Mat, steps int, active []bool) *tensor.Mat {
+// and reshards the attention output back (Figure 5(b)). kMine/vMine are
+// the projections of this chip's own sequences only (the weights are the
+// full K/V projections — multiquery K/V identical on every chip,
+// batch-sharded multihead full-width — but the token rows are already
+// restricted to this shard). On a single chip both all-to-alls are
+// identities and the whole exchange collapses to the chip-local fused
+// path.
+func (e *Engine) attnBatchSharded(c *mesh.Chip, st *chipState, layer int, qLocal, kMine, vMine *tensor.Mat, steps int, active []bool) *tensor.Mat {
+	ar := &st.arena
 	n := e.m.Chips()
 	seqsPC := e.batch / n
 	rowsPC := seqsPC * steps
@@ -303,36 +380,50 @@ func (e *Engine) attnBatchSharded(c *mesh.Chip, st *chipState, layer int, qLocal
 	if active != nil {
 		localActive = active[c.Rank*seqsPC : (c.Rank+1)*seqsPC]
 	}
-	myRows := contiguous(c.Rank*rowsPC, rowsPC)
-	kMine := selectRows(kNew, myRows)
-	vMine := selectRows(vNew, myRows)
+
+	if n == 1 {
+		return appendAndAttendInto(ar.Mat(qLocal.Rows, qLocal.Cols),
+			e.cfg.HeadDim, qLocal, st.cache, layer, seqsPC, steps, localActive, kMine, vMine, &st.scr)
+	}
 
 	// All-to-all #1: send each destination its sequence block of my
-	// head-block queries.
-	shards := make([][]float32, n)
+	// head-block queries. Row blocks are contiguous, so the shards are
+	// zero-copy views (Send copies on the wire). The shard tables are
+	// per-chip scratch, reused every layer.
+	headW := qLocal.Cols
+	shards := st.shardTab(n)
 	for d := 0; d < n; d++ {
-		blk := tensor.SliceRows(qLocal, d*rowsPC, (d+1)*rowsPC)
-		shards[d] = blk.Data
+		shards[d] = qLocal.Data[d*rowsPC*headW : (d+1)*rowsPC*headW]
 	}
 	recv := collective.AllToAll(st.op(c), hardware.GroupXYZ, shards)
-	headBlocks := make([]*tensor.Mat, n)
+	// Assemble my sequences' full-width queries [rowsPC, H·dh]: source
+	// srcIdx's chunk is its head block, i.e. my column block srcIdx.
+	qMine := ar.Mat(rowsPC, headW*n)
 	for srcIdx, data := range recv {
-		headBlocks[srcIdx] = tensor.FromSlice(data, rowsPC, qLocal.Cols)
+		for i := 0; i < rowsPC; i++ {
+			copy(qMine.Row(i)[srcIdx*headW:(srcIdx+1)*headW], data[i*headW:(i+1)*headW])
+		}
+		c.Recycle(data)
 	}
-	qMine := tensor.ConcatCols(headBlocks...) // [rowsPC, H·dh]
 
-	outMine := appendAndAttend(e.cfg.HeadDim, qMine, st.cache, layer, seqsPC, steps, localActive, kMine, vMine)
+	outMine := appendAndAttendInto(ar.Mat(rowsPC, headW*n),
+		e.cfg.HeadDim, qMine, st.cache, layer, seqsPC, steps, localActive, kMine, vMine, &st.scr)
 
 	// All-to-all #2: return each head block to its owner.
-	headW := qLocal.Cols
-	back := make([][]float32, n)
+	back := st.shardTab(n)
+	backBuf := ar.Mat(rowsPC*n, headW)
 	for d := 0; d < n; d++ {
-		back[d] = tensor.SliceCols(outMine, d*headW, (d+1)*headW).Data
+		blk := backBuf.Data[d*rowsPC*headW : (d+1)*rowsPC*headW]
+		for i := 0; i < rowsPC; i++ {
+			copy(blk[i*headW:(i+1)*headW], outMine.Row(i)[d*headW:(d+1)*headW])
+		}
+		back[d] = blk
 	}
 	recv2 := collective.AllToAll(st.op(c), hardware.GroupXYZ, back)
-	seqBlocks := make([]*tensor.Mat, n)
+	outLocal := ar.Mat(e.batch*steps, headW) // [tokens, headsPC·dh]
 	for srcIdx, data := range recv2 {
-		seqBlocks[srcIdx] = tensor.FromSlice(data, rowsPC, headW)
+		copy(outLocal.Data[srcIdx*rowsPC*headW:(srcIdx+1)*rowsPC*headW], data)
+		c.Recycle(data)
 	}
-	return tensor.ConcatRows(seqBlocks...) // [tokens, headsPC·dh]
+	return outLocal
 }

@@ -90,8 +90,10 @@ func (e *Engine) PrefillSlot(slot int, prompt []int) *tensor.Mat {
 	var mu sync.Mutex
 	e.m.Run(func(c *mesh.Chip) {
 		st := e.chips[c.Rank]
+		ar := &st.arena
+		ar.Reset()
 
-		x := tensor.New(nTok, st.embedCols.Cols)
+		x := ar.Mat(nTok, st.embedCols.Cols)
 		for i, tok := range prompt {
 			if tok < 0 || tok >= e.cfg.Vocab {
 				panic(fmt.Sprintf("engine: token %d out of vocab %d", tok, e.cfg.Vocab))
@@ -119,15 +121,16 @@ func (e *Engine) PrefillSlot(slot int, prompt []int) *tensor.Mat {
 		}
 
 		final := shardNorm(c, st, x, st.finalGain, e.cfg.DModel)
-		fullFinal := agCols(st.op(c), hardware.GroupXYZ, final, e.m.Chips())
-		logitsLocal := tensor.MatMulT(fullFinal, st.embedRows)
-		logits := agCols(st.op(c), hardware.GroupXYZ, logitsLocal, e.m.Chips())
+		fullFinal := agCols(ar, st.op(c), hardware.GroupXYZ, final, e.m.Chips())
+		logitsLocal := tensor.MatMulTInto(ar.Mat(fullFinal.Rows, st.embedRows.Rows), fullFinal, st.embedRows)
+		logits := agCols(ar, st.op(c), hardware.GroupXYZ, logitsLocal, e.m.Chips())
 
 		mu.Lock()
 		results[c.Rank] = logits
 		mu.Unlock()
 	})
-	return results[0]
+	// Arena-backed on each chip; hand the caller its own copy.
+	return results[0].Clone()
 }
 
 // attnSlot runs the attention sub-block of a single-sequence prefill
@@ -138,26 +141,31 @@ func (e *Engine) PrefillSlot(slot int, prompt []int) *tensor.Mat {
 // head blocks back with an all-to-all in which only the owner's shards
 // carry data.
 func (e *Engine) attnSlot(c *mesh.Chip, st *chipState, cl *chipLayer, layer int, h *tensor.Mat, slot, steps int) *tensor.Mat {
+	ar := &st.arena
 	n := e.m.Chips()
-	hFull := agCols(st.op(c), hardware.GroupXYZ, h, n)
-	qLocal := cl.wq.mul(hFull) // [steps, headsPC·dh]
-	kNew := cl.wk.mul(hFull)
-	vNew := cl.wv.mul(hFull)
+	hFull := agCols(ar, st.op(c), hardware.GroupXYZ, h, n)
+	qLocal := cl.wq.mulA(ar, hFull) // [steps, headsPC·dh]
+	kNew := cl.wk.mulA(ar, hFull)
+	vNew := cl.wv.mulA(ar, hFull)
 
 	var outLocal *tensor.Mat
 	owner, local := e.slotOwner(slot)
-	if owner < 0 {
-		// Head-sharded: every chip holds the slot; K/V columns already
-		// match this chip's cache width.
+	if owner < 0 || n == 1 {
+		// Chip-local attention: head-sharded replicates the slot on
+		// every chip (K/V columns already match this chip's cache
+		// width), and a single-chip batch-sharded mesh owns it outright
+		// with both all-to-alls degenerate.
 		st.cache.AppendSeq(layer, local, kNew, vNew, steps)
-		outLocal = reference.AttendSeq(e.cfg.HeadDim, qLocal, st.cache, layer, local, steps)
+		outLocal = reference.AttendSeqInto(ar.Mat(steps, qLocal.Cols),
+			e.cfg.HeadDim, qLocal, st.cache, layer, local, steps, &st.scr)
 	} else {
 		headW := qLocal.Cols
-		qFull := agCols(st.op(c), hardware.GroupXYZ, qLocal, n) // [steps, H·dh]
+		qFull := agCols(ar, st.op(c), hardware.GroupXYZ, qLocal, n) // [steps, H·dh]
 		shards := make([][]float32, n)
 		if c.Rank == owner {
 			st.cache.AppendSeq(layer, local, kNew, vNew, steps)
-			outFull := reference.AttendSeq(e.cfg.HeadDim, qFull, st.cache, layer, local, steps)
+			outFull := reference.AttendSeqInto(ar.Mat(steps, qFull.Cols),
+				e.cfg.HeadDim, qFull, st.cache, layer, local, steps, &st.scr)
 			for d := 0; d < n; d++ {
 				shards[d] = tensor.SliceCols(outFull, d*headW, (d+1)*headW).Data
 			}
@@ -170,8 +178,8 @@ func (e *Engine) attnSlot(c *mesh.Chip, st *chipState, cl *chipLayer, layer int,
 		outLocal = tensor.FromSlice(recv[owner], steps, headW)
 	}
 
-	partial := cl.wo.mul(outLocal)
-	return rsCols(st.op(c), hardware.GroupXYZ, partial, n)
+	partial := cl.wo.mulA(ar, outLocal)
+	return rsCols(ar, st.op(c), hardware.GroupXYZ, partial, n)
 }
 
 // prefillSlotWG admits a prompt under the weight-gathered layout:
@@ -184,6 +192,7 @@ func (e *Engine) prefillSlotWG(slot int, prompt []int) *tensor.Mat {
 	results := make([]*tensor.Mat, e.m.Chips())
 	e.m.Run(func(c *mesh.Chip) {
 		st := e.chips[c.Rank]
+		st.arena.Reset()
 		ws := st.wg
 		mine := c.Rank == owner
 
@@ -207,13 +216,13 @@ func (e *Engine) prefillSlotWG(slot int, prompt []int) *tensor.Mat {
 			if e.cfg.ParallelBlock {
 				h := tensor.RMSNorm(x, ls.normGain, 1e-6)
 				attnY := wgAttendSlot(e, st, g, h, l, local, nTok)
-				ffnY := wgFFN(e.cfg, g, h)
+				ffnY := wgFFN(st, e.cfg, g, h)
 				x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
 			} else {
 				h := tensor.RMSNorm(x, ls.normGain, 1e-6)
 				x = tensor.AddInPlace(x, wgAttendSlot(e, st, g, h, l, local, nTok))
 				h2 := tensor.RMSNorm(x, ls.ffnNormGain, 1e-6)
-				x = tensor.AddInPlace(x, wgFFN(e.cfg, g, h2))
+				x = tensor.AddInPlace(x, wgFFN(st, e.cfg, g, h2))
 			}
 		}
 		if mine {

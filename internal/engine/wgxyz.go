@@ -125,6 +125,7 @@ func (e *Engine) gatherLayer(c *mesh.Chip, st *chipState, ws *wgLayerShards) gat
 				}
 			}
 		}
+		c.Recycle(all)
 		return full
 	}
 	if ws.gate != nil {
@@ -143,6 +144,7 @@ func (e *Engine) gatherLayer(c *mesh.Chip, st *chipState, ws *wgLayerShards) gat
 				copy(full.Row(i)[r*colsPC:(r+1)*colsPC], chunk[i*colsPC:(i+1)*colsPC])
 			}
 		}
+		c.Recycle(all)
 		return full
 	}
 	// Row-block shards (W_K, W_V, W_O): contiguous rows per rank, so the
@@ -171,6 +173,7 @@ func (e *Engine) forwardWG(tokens []int, steps int, active []bool) *tensor.Mat {
 	blocks := make([]*tensor.Mat, n)
 	e.m.Run(func(c *mesh.Chip) {
 		st := e.chips[c.Rank]
+		st.arena.Reset()
 		ws := st.wg
 		var localActive []bool
 		if active != nil {
@@ -196,13 +199,13 @@ func (e *Engine) forwardWG(tokens []int, steps int, active []bool) *tensor.Mat {
 			if e.cfg.ParallelBlock {
 				h := tensor.RMSNorm(x, ls.normGain, 1e-6)
 				attnY := wgAttention(e, st, g, h, l, seqsPC, steps, localActive)
-				ffnY := wgFFN(e.cfg, g, h)
+				ffnY := wgFFN(st, e.cfg, g, h)
 				x = tensor.AddInPlace(tensor.AddInPlace(x, attnY), ffnY)
 			} else {
 				h := tensor.RMSNorm(x, ls.normGain, 1e-6)
 				x = tensor.AddInPlace(x, wgAttention(e, st, g, h, l, seqsPC, steps, localActive))
 				h2 := tensor.RMSNorm(x, ls.ffnNormGain, 1e-6)
-				x = tensor.AddInPlace(x, wgFFN(e.cfg, g, h2))
+				x = tensor.AddInPlace(x, wgFFN(st, e.cfg, g, h2))
 			}
 		}
 		if localActive == nil {
@@ -224,21 +227,25 @@ func (e *Engine) forwardWG(tokens []int, steps int, active []bool) *tensor.Mat {
 }
 
 func wgAttention(e *Engine, st *chipState, g gathered, h *tensor.Mat, layer, seqsPC, steps int, active []bool) *tensor.Mat {
-	q := tensor.MatMul(h, g.q)
-	k := tensor.MatMul(h, g.k)
-	v := tensor.MatMul(h, g.v)
-	out := appendAndAttend(e.cfg.HeadDim, q, st.cache, layer, seqsPC, steps, active, k, v)
-	return tensor.MatMul(out, g.o)
+	ar := &st.arena
+	q := tensor.MatMulInto(ar.Mat(h.Rows, g.q.Cols), h, g.q)
+	k := tensor.MatMulInto(ar.Mat(h.Rows, g.k.Cols), h, g.k)
+	v := tensor.MatMulInto(ar.Mat(h.Rows, g.v.Cols), h, g.v)
+	out := appendAndAttendInto(ar.Mat(q.Rows, q.Cols),
+		e.cfg.HeadDim, q, st.cache, layer, seqsPC, steps, active, k, v, &st.scr)
+	return tensor.MatMulInto(ar.Mat(out.Rows, g.o.Cols), out, g.o)
 }
 
-func wgFFN(cfg model.Config, g gathered, h *tensor.Mat) *tensor.Mat {
+func wgFFN(st *chipState, cfg model.Config, g gathered, h *tensor.Mat) *tensor.Mat {
+	ar := &st.arena
 	if cfg.FFNKind == model.SwiGLU {
-		gate := tensor.MatMul(h, g.gate)
-		up := tensor.MatMul(h, g.up)
-		tensor.SiLU(gate)
-		return tensor.MatMul(tensor.Mul(gate, up), g.down)
+		gate := tensor.MatMulInto(ar.Mat(h.Rows, g.gate.Cols), h, g.gate)
+		up := tensor.MatMulInto(ar.Mat(h.Rows, g.up.Cols), h, g.up)
+		tensor.SiLUFast(gate)
+		act := tensor.MulInto(gate, gate, up)
+		return tensor.MatMulInto(ar.Mat(act.Rows, g.down.Cols), act, g.down)
 	}
-	act := tensor.MatMul(h, g.up)
+	act := tensor.MatMulInto(ar.Mat(h.Rows, g.up.Cols), h, g.up)
 	tensor.GELU(act)
-	return tensor.MatMul(act, g.down)
+	return tensor.MatMulInto(ar.Mat(act.Rows, g.down.Cols), act, g.down)
 }

@@ -317,9 +317,10 @@ func (c *Cache) Values(l, s int) *tensor.Mat {
 // RowsK returns K rows for positions [0, total) of slot s in layer l. The
 // range may extend past the committed SeqLen into rows already written by
 // Append*/AppendSeq but not yet committed — the window attention reads
-// mid-pass. Without an attached prefix this is a zero-copy view of the
-// slot's storage; with one, the shared prefix rows and the private suffix
-// are materialized into a contiguous matrix.
+// mid-pass. Without an attached prefix (or when the range stays inside
+// one) this is a zero-copy view of live storage; a range spanning both a
+// prefix and the private suffix is materialized into a contiguous matrix.
+// Kernels that must never copy or allocate use ViewK/ViewV instead.
 func (c *Cache) RowsK(l, s, total int) *tensor.Mat {
 	return c.rows(c.K, l, s, total, func(p *Prefix) []*tensor.Mat { return p.K })
 }
@@ -336,12 +337,14 @@ func (c *Cache) rows(store []*tensor.Mat, l, s, total int, side func(*Prefix) []
 	}
 	p := c.pfx[s]
 	if p == nil {
-		return tensor.SliceRows(store[l], s*c.MaxLen, s*c.MaxLen+total)
+		v := tensor.RowsView(store[l], s*c.MaxLen, s*c.MaxLen+total)
+		return &v
 	}
 	shared := side(p)
 	pl := p.Len()
 	if total <= pl {
-		return tensor.SliceRows(shared[l], 0, total)
+		v := tensor.RowsView(shared[l], 0, total)
+		return &v
 	}
 	out := tensor.New(total, c.KVWidth)
 	for t := 0; t < pl; t++ {
@@ -351,6 +354,40 @@ func (c *Cache) rows(store []*tensor.Mat, l, s, total int, side func(*Prefix) []
 		copy(out.Row(t), store[l].Row(s*c.MaxLen+t-pl))
 	}
 	return out
+}
+
+// ViewK returns zero-copy views of slot s's K rows covering positions
+// [0, total): the shared-prefix segment (zero rows when no prefix is
+// attached) followed by the slot's private segment. Both views alias live
+// storage and are returned by value so the attention hot loop can walk a
+// slot's keys with no copy and no allocation. As with RowsK, total may
+// extend past the committed SeqLen into rows appended mid-pass.
+func (c *Cache) ViewK(l, s, total int) (pre, priv tensor.Mat) {
+	return c.segments(c.K, l, s, total, func(p *Prefix) []*tensor.Mat { return p.K })
+}
+
+// ViewV is ViewK for the V tensor.
+func (c *Cache) ViewV(l, s, total int) (pre, priv tensor.Mat) {
+	return c.segments(c.V, l, s, total, func(p *Prefix) []*tensor.Mat { return p.V })
+}
+
+func (c *Cache) segments(store []*tensor.Mat, l, s, total int, side func(*Prefix) []*tensor.Mat) (pre, priv tensor.Mat) {
+	c.checkSlot(s)
+	if total < 0 || total > c.MaxLen {
+		panic(fmt.Sprintf("kvcache: slot %d row range %d out of capacity %d", s, total, c.MaxLen))
+	}
+	pl := 0
+	if p := c.pfx[s]; p != nil {
+		pl = p.Len()
+		if pl > total {
+			pl = total
+		}
+		pre = tensor.RowsView(side(p)[l], 0, pl)
+	} else {
+		pre = tensor.Mat{Cols: c.KVWidth}
+	}
+	priv = tensor.RowsView(store[l], s*c.MaxLen, s*c.MaxLen+total-pl)
+	return pre, priv
 }
 
 // Bytes is the allocated footprint (float32 storage).

@@ -1,0 +1,120 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"esti/internal/tensor"
+)
+
+// ViewK/ViewV are the zero-copy two-segment views the fused attention
+// kernel walks. They must agree row-for-row with the materializing
+// RowsK/RowsV across no-prefix, prefix-only, and prefix+suffix ranges, and
+// must alias live storage rather than copy it.
+func TestViewsMatchRowsAcrossPrefixStates(t *testing.T) {
+	const layers, width, maxLen = 2, 4, 8
+	store := NewPrefixStore(layers, width, 0)
+	c := New(layers, 2, maxLen, width)
+
+	// Build a 3-token shared prefix.
+	pk := make([]*tensor.Mat, layers)
+	pv := make([]*tensor.Mat, layers)
+	for l := 0; l < layers; l++ {
+		pk[l] = tensor.New(3, width)
+		pv[l] = tensor.New(3, width)
+		for i := range pk[l].Data {
+			pk[l].Data[i] = float32(100*l + i)
+			pv[l].Data[i] = -float32(100*l + i)
+		}
+	}
+	p, err := store.Insert([]int{1, 2, 3}, pk, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachPrefix(1, p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Private suffix on both slots.
+	rnd := rand.New(rand.NewSource(5))
+	for l := 0; l < layers; l++ {
+		k := tensor.New(2, width).FillRand(rnd, 1)
+		v := tensor.New(2, width).FillRand(rnd, 1)
+		c.AppendSeq(l, 0, k, v, 2)
+		c.AppendSeq(l, 1, k, v, 2)
+	}
+	c.AdvanceSeq(0, 2)
+	c.AdvanceSeq(1, 2)
+
+	check := func(slot, total int) {
+		t.Helper()
+		for l := 0; l < layers; l++ {
+			preK, privK := c.ViewK(l, slot, total)
+			preV, privV := c.ViewV(l, slot, total)
+			wantK := c.RowsK(l, slot, total)
+			wantV := c.RowsV(l, slot, total)
+			if preK.Rows+privK.Rows != total {
+				t.Fatalf("slot %d total %d: segments cover %d+%d rows",
+					slot, total, preK.Rows, privK.Rows)
+			}
+			for r := 0; r < total; r++ {
+				var gotK, gotV []float32
+				if r < preK.Rows {
+					gotK, gotV = preK.Row(r), preV.Row(r)
+				} else {
+					gotK, gotV = privK.Row(r-preK.Rows), privV.Row(r-preK.Rows)
+				}
+				for j := 0; j < width; j++ {
+					if gotK[j] != wantK.At(r, j) || gotV[j] != wantV.At(r, j) {
+						t.Fatalf("slot %d layer %d row %d col %d: view (%g,%g) vs rows (%g,%g)",
+							slot, l, r, j, gotK[j], gotV[j], wantK.At(r, j), wantV.At(r, j))
+					}
+				}
+			}
+		}
+	}
+	check(0, 2) // no prefix
+	check(1, 2) // inside the prefix only
+	check(1, 5) // prefix + suffix
+	check(1, 3) // exactly the prefix boundary
+	check(0, 0) // empty range
+	check(1, 0) // empty range with prefix attached
+	if got := c.SeqLen(1); got != 5 {
+		t.Fatalf("slot 1 len %d", got)
+	}
+
+	// Zero-copy: mutating through the private view must hit the cache.
+	_, priv := c.ViewK(0, 0, 2)
+	priv.Set(0, 0, 123)
+	if got := c.RowsK(0, 0, 2).At(0, 0); got != 123 {
+		t.Errorf("private view did not alias storage (got %g)", got)
+	}
+	// The prefix segment aliases the store's single copy (read-only by
+	// convention, but the aliasing is the point).
+	pre, _ := c.ViewK(0, 1, 3)
+	if pre.Row(0)[0] != pk[0].At(0, 0) {
+		t.Error("prefix view does not alias the store block")
+	}
+
+	// Insert returns an unreferenced entry (references come from Acquire),
+	// so detaching is all the cleanup this test owes.
+	if got := c.ResetSeq(1); got != p {
+		t.Fatalf("ResetSeq detached %v, want the attached prefix", got)
+	}
+}
+
+// Views must not allocate: the engine's decode hot path takes four per
+// layer per slot.
+func TestViewsDoNotAllocate(t *testing.T) {
+	c := New(1, 1, 16, 4)
+	k := tensor.New(2, 4)
+	c.AppendSeq(0, 0, k, k, 2)
+	c.AdvanceSeq(0, 2)
+	if avg := testing.AllocsPerRun(100, func() {
+		pre, priv := c.ViewK(0, 0, 2)
+		_ = pre.Rows
+		_ = priv.Rows
+	}); avg != 0 {
+		t.Errorf("ViewK allocates %v times", avg)
+	}
+}

@@ -12,7 +12,6 @@ package mesh
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"esti/internal/hardware"
 )
@@ -35,9 +34,16 @@ type Mesh struct {
 	Torus hardware.Torus
 	chips []*Chip
 
-	bytesSent  atomic.Int64 // total payload bytes across all chips
-	msgsSent   atomic.Int64
 	maxPerChip int // inbox soft cap (debugging aid; 0 = unlimited)
+}
+
+// poolBucket returns the smallest b with 1<<b >= n.
+func poolBucket(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
 }
 
 // New builds a mesh for a torus shape.
@@ -54,7 +60,7 @@ func New(t hardware.Torus) *Mesh {
 			Rank:  r,
 			Coord: m.coordOf(r),
 		}
-		m.chips[r].inbox.cond = sync.NewCond(&m.chips[r].inbox.mu)
+		m.chips[r].inbox.init()
 	}
 	return m
 }
@@ -81,26 +87,47 @@ func (m *Mesh) coordOf(rank int) Coord {
 }
 
 // BytesSent is the total payload volume sent by all chips (4 bytes per
-// float32 element).
-func (m *Mesh) BytesSent() int64 { return m.bytesSent.Load() }
-
-// MessagesSent is the total message count.
-func (m *Mesh) MessagesSent() int64 { return m.msgsSent.Load() }
-
-// ResetCounters zeroes the global and per-chip traffic counters.
-func (m *Mesh) ResetCounters() {
-	m.bytesSent.Store(0)
-	m.msgsSent.Store(0)
+// float32 element). Counters are accumulated per chip without atomics —
+// each is written only by its chip's goroutine — so reading them is only
+// meaningful outside Run (which is when the tests and experiments do).
+func (m *Mesh) BytesSent() int64 {
+	var total int64
 	for _, c := range m.chips {
-		c.bytesSent.Store(0)
+		total += c.bytesSent
+	}
+	return total
+}
+
+// MessagesSent is the total message count (same read contract as
+// BytesSent).
+func (m *Mesh) MessagesSent() int64 {
+	var total int64
+	for _, c := range m.chips {
+		total += c.msgsSent
+	}
+	return total
+}
+
+// ResetCounters zeroes the per-chip traffic counters.
+func (m *Mesh) ResetCounters() {
+	for _, c := range m.chips {
+		c.bytesSent = 0
+		c.msgsSent = 0
 	}
 }
 
 // Run executes fn on every chip concurrently (SPMD) and waits for all chips
 // to finish. A panic on any chip is re-raised on the caller after all other
 // chips finish or deadlock is avoided by the panic's message loss; programs
-// are expected to be deterministic and matched.
+// are expected to be deterministic and matched. A single-chip mesh runs fn
+// inline — there are no peers to message or poison, so the goroutine,
+// WaitGroup, and bookkeeping would be pure overhead on the one path that
+// can be made allocation-free end to end.
 func (m *Mesh) Run(fn func(c *Chip)) {
+	if len(m.chips) == 1 {
+		fn(m.chips[0])
+		return
+	}
 	var wg sync.WaitGroup
 	panics := make([]any, len(m.chips))
 	for i, c := range m.chips {
@@ -139,28 +166,92 @@ type Chip struct {
 	Coord Coord
 
 	inbox     inbox
-	bytesSent atomic.Int64
+	bytesSent int64 // written only by this chip's goroutine
+	msgsSent  int64
+
+	// Message buffer free lists, bucketed by power-of-two capacity. An
+	// SPMD step sends the same message sizes every iteration, so
+	// recycling delivered payloads (Recycle) makes steady-state traffic
+	// allocation-free instead of pure GC churn. Each chip's pool is
+	// touched only by its own goroutine (Send draws from the sender,
+	// Recycle returns to the consumer), so no lock is needed; buffers
+	// migrate between chips and that's fine. Best-effort: buffers that
+	// are never recycled are simply collected.
+	pool [31][][]float32
+
+	// groups caches per-group ranks and peer tables (groupInfoFor).
+	groups []groupInfo
 }
 
 // Mesh returns the owning mesh.
 func (c *Chip) Mesh() *Mesh { return c.mesh }
 
-// BytesSent is this chip's total sent payload bytes.
-func (c *Chip) BytesSent() int64 { return c.bytesSent.Load() }
+// BytesSent is this chip's total sent payload bytes (read outside Run).
+func (c *Chip) BytesSent() int64 { return c.bytesSent }
 
-// Send delivers data to dst with a tag. The payload is copied, so senders
-// may reuse their buffer.
+// Buffer returns a reusable scratch buffer of length n from this chip's
+// message pool. Collectives allocate their results from it so receivers
+// can give them back with Recycle once consumed. Must be called from the
+// chip's own goroutine (as all chip operations are).
+func (c *Chip) Buffer(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	b := poolBucket(n)
+	free := c.pool[b]
+	if len(free) > 0 {
+		buf := free[len(free)-1]
+		c.pool[b] = free[:len(free)-1]
+		return buf[:n]
+	}
+	return make([]float32, n, 1<<b)
+}
+
+// Recycle returns a buffer obtained from Recv, Buffer, or a collective to
+// this chip's pool. Callers must not touch the buffer afterwards;
+// recycling is optional (unrecycled buffers are garbage collected).
+func (c *Chip) Recycle(buf []float32) {
+	n := cap(buf)
+	if n == 0 {
+		return
+	}
+	// File under the largest bucket the capacity fully covers, so Buffer
+	// can always reslice what it pops to the bucket's maximum length.
+	b := poolBucket(n)
+	if 1<<b > n {
+		b--
+	}
+	c.pool[b] = append(c.pool[b], buf[:0])
+}
+
+// Send delivers data to dst with a tag. The payload is copied (into a
+// pooled buffer), so senders may reuse their buffer.
 func (c *Chip) Send(dst int, tag uint64, data []float32) {
 	if dst == c.Rank {
 		panic("mesh: self-send")
 	}
-	cp := make([]float32, len(data))
+	cp := c.Buffer(len(data))
 	copy(cp, data)
-	bytes := int64(4 * len(data))
-	c.bytesSent.Add(bytes)
-	c.mesh.bytesSent.Add(bytes)
-	c.mesh.msgsSent.Add(1)
-	c.mesh.chips[dst].inbox.put(Message{Src: c.Rank, Tag: tag, Data: cp})
+	c.deliver(dst, tag, cp)
+}
+
+// SendOwned delivers buf to dst, transferring ownership instead of
+// copying: the sender must not touch buf afterwards. It exists for the
+// store-and-forward inner loop of ring collectives, where a chip relays a
+// buffer it just received and will never read again — the relay's copy is
+// pure overhead the real hardware doesn't pay either. Traffic accounting
+// is identical to Send.
+func (c *Chip) SendOwned(dst int, tag uint64, buf []float32) {
+	if dst == c.Rank {
+		panic("mesh: self-send")
+	}
+	c.deliver(dst, tag, buf)
+}
+
+func (c *Chip) deliver(dst int, tag uint64, payload []float32) {
+	c.bytesSent += int64(4 * len(payload))
+	c.msgsSent++
+	c.mesh.chips[dst].inbox.put(Message{Src: c.Rank, Tag: tag, Data: payload})
 }
 
 // Recv blocks until a message with the given source and tag arrives.
@@ -168,28 +259,66 @@ func (c *Chip) Recv(src int, tag uint64) []float32 {
 	return c.inbox.take(src, tag)
 }
 
-// GroupRank returns this chip's index within the axis group containing it
-// (axes in group order, first axis fastest), and the group size.
-func (c *Chip) GroupRank(g hardware.AxisGroup) (rank, size int) {
-	size = g.Size(c.mesh.Torus)
+// groupInfo caches a chip's view of one axis group: its rank, the group
+// size, and the mesh rank of every group member. Groups are the handful of
+// package-level AxisGroup values (X, YZ, XYZ, ...); identity is the
+// slice's first-element pointer, so lookup is a short linear scan with no
+// allocation. The cache is only touched by the chip's goroutine.
+type groupInfo struct {
+	key    *hardware.Axis
+	keyLen int
+	rank   int
+	size   int
+	peers  []int
+}
+
+func (c *Chip) groupInfoFor(g hardware.AxisGroup) *groupInfo {
+	key := &g[0]
+	for i := range c.groups {
+		e := &c.groups[i]
+		if e.key == key && e.keyLen == len(g) {
+			return e
+		}
+	}
+	size := g.Size(c.mesh.Torus)
+	rank := 0
 	stride := 1
 	for _, a := range g {
 		rank += c.axis(a) * stride
 		stride *= c.mesh.Torus.Size(a)
 	}
-	return rank, size
+	peers := make([]int, size)
+	for idx := 0; idx < size; idx++ {
+		co := c.Coord
+		rem := idx
+		for _, a := range g {
+			s := c.mesh.Torus.Size(a)
+			co = setAxis(co, a, rem%s)
+			rem /= s
+		}
+		peers[idx] = c.mesh.rankOf(co)
+	}
+	c.groups = append(c.groups, groupInfo{key: key, keyLen: len(g), rank: rank, size: size, peers: peers})
+	return &c.groups[len(c.groups)-1]
+}
+
+// GroupRank returns this chip's index within the axis group containing it
+// (axes in group order, first axis fastest), and the group size.
+func (c *Chip) GroupRank(g hardware.AxisGroup) (rank, size int) {
+	if len(g) == 0 {
+		return 0, 1
+	}
+	gi := c.groupInfoFor(g)
+	return gi.rank, gi.size
 }
 
 // GroupPeer returns the rank (mesh-wide) of the group member with the given
 // group index, holding all non-group coordinates at this chip's values.
 func (c *Chip) GroupPeer(g hardware.AxisGroup, idx int) int {
-	co := c.Coord
-	for _, a := range g {
-		size := c.mesh.Torus.Size(a)
-		co = setAxis(co, a, idx%size)
-		idx /= size
+	if len(g) == 0 {
+		return c.Rank
 	}
-	return c.mesh.rankOf(co)
+	return c.groupInfoFor(g).peers[idx]
 }
 
 func (c *Chip) axis(a hardware.Axis) int {
@@ -224,6 +353,10 @@ type inbox struct {
 	cond    *sync.Cond
 	pending []Message
 	poisonV any
+}
+
+func (b *inbox) init() {
+	b.cond = sync.NewCond(&b.mu)
 }
 
 func (b *inbox) put(m Message) {

@@ -102,6 +102,76 @@ func (q *Int8Mat) SelectCols(cols []int) *Int8Mat {
 // in float32 over the int8 values and applying the column scale once per
 // output (the standard weight-only quantized matmul).
 func MatMul(a *tensor.Mat, q *Int8Mat) *tensor.Mat {
+	return MatMulInto(tensor.New(a.Rows, q.Cols), a, q)
+}
+
+// MatMulInto is the destination-passing form of MatMul: a·q into dst
+// (reshaped to [a.Rows, q.Cols]), returning dst. Like the float kernels in
+// package tensor it unrolls the contraction four-wide, reslices rows for
+// bounds-check elimination, skips all-zero activation groups, and splits
+// large row ranges across the shared worker pool. dst must not alias a.
+func MatMulInto(dst, a *tensor.Mat, q *Int8Mat) *tensor.Mat {
+	if a.Cols != q.Rows {
+		panic(fmt.Sprintf("quant: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, q.Rows, q.Cols))
+	}
+	dst.Reshape(a.Rows, q.Cols)
+	if !tensor.ShouldParallel(a.Rows, a.Rows*a.Cols*q.Cols) {
+		matMulRows(dst, a, q, 0, a.Rows)
+		return dst
+	}
+	dv, av := *dst, *a
+	tensor.ParallelRows(a.Rows, a.Rows*a.Cols*q.Cols, func(lo, hi int) {
+		matMulRows(&dv, &av, q, lo, hi)
+	})
+	return dst
+}
+
+func matMulRows(dst, a *tensor.Mat, q *Int8Mat, lo, hi int) {
+	k, n := a.Cols, q.Cols
+	ad, qd, od := a.Data, q.Data, dst.Data
+	scales := q.Scales[:n]
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : i*k+k]
+		orow := od[i*n : i*n+n]
+		for j := range orow {
+			orow[j] = 0
+		}
+		if n == 0 {
+			continue
+		}
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			q0 := qd[kk*n : kk*n+n][:n]
+			q1 := qd[(kk+1)*n : (kk+1)*n+n][:n]
+			q2 := qd[(kk+2)*n : (kk+2)*n+n][:n]
+			q3 := qd[(kk+3)*n : (kk+3)*n+n][:n]
+			for j := range orow {
+				orow[j] += a0*float32(q0[j]) + a1*float32(q1[j]) + a2*float32(q2[j]) + a3*float32(q3[j])
+			}
+		}
+		for ; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			qrow := qd[kk*n : kk*n+n][:n]
+			for j := range orow {
+				orow[j] += av * float32(qrow[j])
+			}
+		}
+		for j := range orow {
+			orow[j] *= scales[j]
+		}
+	}
+}
+
+// matMulNaive is the original triple-loop quantized matmul, retained as
+// the oracle the blocked kernel is property-tested against.
+func matMulNaive(a *tensor.Mat, q *Int8Mat) *tensor.Mat {
 	if a.Cols != q.Rows {
 		panic(fmt.Sprintf("quant: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, q.Rows, q.Cols))
 	}

@@ -1,0 +1,162 @@
+package reference
+
+import (
+	"math"
+
+	"esti/internal/kvcache"
+	"esti/internal/tensor"
+)
+
+// Fused attention kernel. The original AttendSeq materialized per-head
+// temporaries — a query copy, K/V column slices of the whole cache depth,
+// a scores matrix, an output block — and composed tensor.MatMulT, Scale,
+// SoftmaxRows and MatMul over them; at decode depth d that copied O(d)
+// rows per head per layer and dominated the profile. AttendSeqInto fuses
+// scale, causal mask, softmax and the weighted V sum into one pass per
+// query head that reads K and V directly from the kvcache's two-segment
+// zero-copy views (shared prefix + private suffix), shares a single
+// softmax buffer across heads, steps and layers, and writes straight into
+// the caller's output block. Steady state it allocates nothing.
+
+// AttnScratch is the reusable buffer AttendSeqInto runs its softmax in.
+// One scratch serves a whole engine chip (or reference model): every call
+// reuses the same backing array, growing it only when the attended depth
+// first exceeds its capacity. Reserve pre-sizes it so a capacity-bounded
+// decode loop never grows it at all. Not safe for concurrent use.
+type AttnScratch struct {
+	probs []float32
+}
+
+// Reserve grows the scratch to cover attention depths up to maxLen.
+func (s *AttnScratch) Reserve(maxLen int) {
+	if cap(s.probs) < maxLen {
+		s.probs = make([]float32, maxLen)
+	}
+}
+
+func (s *AttnScratch) buf(n int) []float32 {
+	if cap(s.probs) < n {
+		s.probs = make([]float32, n)
+	}
+	return s.probs[:n]
+}
+
+// AttendSeqInto computes masked attention of a single sequence's queries
+// ([steps, localHeads·dh]) against cache slot `slot` into dst, which must
+// already be shaped [steps, q.Cols]. Semantics are identical to AttendSeq
+// (see its doc comment for the head mapping and depth contract); this is
+// the fused, allocation-free form the engine's hot path calls.
+func AttendSeqInto(dst *tensor.Mat, dh int, q *tensor.Mat, cache *kvcache.Cache, layer, slot, steps int, scr *AttnScratch) *tensor.Mat {
+	heads := q.Cols / dh
+	kvHeads := cache.KVWidth / dh
+	headsPerKV := heads / kvHeads
+	past := cache.SeqLen(slot)
+	total := past + steps
+	inv := float32(1 / math.Sqrt(float64(dh)))
+
+	preK, privK := cache.ViewK(layer, slot, total)
+	preV, privV := cache.ViewV(layer, slot, total)
+	pl := preK.Rows
+	probs := scr.buf(total)
+
+	for h := 0; h < heads; h++ {
+		qo := h * dh
+		kvo := (h / headsPerKV) * dh
+		for t := 0; t < steps; t++ {
+			qrow := q.Row(t)[qo : qo+dh]
+			limit := past + t + 1 // causal: query past+t sees keys 0..past+t
+			npre := limit
+			if npre > pl {
+				npre = pl
+			}
+			maxV := scoreSeg(probs[:npre], preK.Data, preK.Cols, kvo, qrow, inv,
+				scoreSeg(probs[npre:limit], privK.Data, privK.Cols, kvo, qrow, inv,
+					float32(math.Inf(-1))))
+			var sum float32
+			for j := 0; j < limit; j++ {
+				p := tensor.Exp32(probs[j] - maxV)
+				probs[j] = p
+				sum += p
+			}
+			scale := 1 / sum
+			orow := dst.Row(t)[qo : qo+dh]
+			for i := range orow {
+				orow[i] = 0
+			}
+			weighSeg(orow, probs[:npre], preV.Data, preV.Cols, kvo, scale)
+			weighSeg(orow, probs[npre:limit], privV.Data, privV.Cols, kvo, scale)
+		}
+	}
+	return dst
+}
+
+// scoreSeg fills out[j] with inv·(q · k_j) for one K segment (rows are
+// len(out) consecutive rows of kd at stride w, columns [kvo, kvo+len(q))),
+// blocked four rows at a time so q is loaded once per block, and returns
+// the running max starting from maxV. Segments compose: score the later
+// (private) segment first with the prefix segment's call wrapped around
+// it, or vice versa — max is order-independent.
+func scoreSeg(out []float32, kd []float32, w, kvo int, q []float32, inv, maxV float32) float32 {
+	dh := len(q)
+	j := 0
+	for ; j+4 <= len(out); j += 4 {
+		o0 := j*w + kvo
+		k0 := kd[o0 : o0+dh][:dh]
+		k1 := kd[o0+w : o0+w+dh][:dh]
+		k2 := kd[o0+2*w : o0+2*w+dh][:dh]
+		k3 := kd[o0+3*w : o0+3*w+dh][:dh]
+		var s0, s1, s2, s3 float32
+		for i, qv := range q {
+			s0 += qv * k0[i]
+			s1 += qv * k1[i]
+			s2 += qv * k2[i]
+			s3 += qv * k3[i]
+		}
+		s0, s1, s2, s3 = inv*s0, inv*s1, inv*s2, inv*s3
+		out[j], out[j+1], out[j+2], out[j+3] = s0, s1, s2, s3
+		if s0 > maxV {
+			maxV = s0
+		}
+		if s1 > maxV {
+			maxV = s1
+		}
+		if s2 > maxV {
+			maxV = s2
+		}
+		if s3 > maxV {
+			maxV = s3
+		}
+	}
+	for ; j < len(out); j++ {
+		o := j*w + kvo
+		s := inv * tensor.Dot(q, kd[o:o+dh])
+		out[j] = s
+		if s > maxV {
+			maxV = s
+		}
+	}
+	return maxV
+}
+
+// weighSeg accumulates scale·p_j·v_j into orow over one V segment (len(p)
+// consecutive rows of vd at stride w, columns [kvo, kvo+len(orow))),
+// blocked four rows at a time.
+func weighSeg(orow []float32, p []float32, vd []float32, w, kvo int, scale float32) {
+	dh := len(orow)
+	j := 0
+	for ; j+4 <= len(p); j += 4 {
+		o0 := j*w + kvo
+		v0 := vd[o0 : o0+dh][:dh]
+		v1 := vd[o0+w : o0+w+dh][:dh]
+		v2 := vd[o0+2*w : o0+2*w+dh][:dh]
+		v3 := vd[o0+3*w : o0+3*w+dh][:dh]
+		p0, p1, p2, p3 := p[j]*scale, p[j+1]*scale, p[j+2]*scale, p[j+3]*scale
+		for i := range orow {
+			orow[i] += p0*v0[i] + p1*v1[i] + p2*v2[i] + p3*v3[i]
+		}
+	}
+	for ; j < len(p); j++ {
+		o := j*w + kvo
+		tensor.Axpy(orow, p[j]*scale, vd[o:o+dh])
+	}
+}

@@ -1,0 +1,145 @@
+package reference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"esti/internal/kvcache"
+	"esti/internal/tensor"
+)
+
+// attendSeqNaive is the original composed-primitive attention — per-head
+// query copy, K/V column slices, scores matmul, mask, softmax, weighted
+// sum — retained here as the oracle the fused kernel is property-tested
+// against.
+func attendSeqNaive(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, slot, steps int) *tensor.Mat {
+	heads := q.Cols / dh
+	kvHeads := cache.KVWidth / dh
+	headsPerKV := heads / kvHeads
+	past := cache.SeqLen(slot)
+	total := past + steps
+	inv := float32(1 / math.Sqrt(float64(dh)))
+
+	kRows := cache.RowsK(layer, slot, total)
+	vRows := cache.RowsV(layer, slot, total)
+	out := tensor.New(steps, q.Cols)
+	for hIdx := 0; hIdx < heads; hIdx++ {
+		kvIdx := hIdx / headsPerKV
+		qh := tensor.New(steps, dh)
+		for t := 0; t < steps; t++ {
+			copy(qh.Row(t), q.Row(t)[hIdx*dh:(hIdx+1)*dh])
+		}
+		kh := tensor.SliceCols(kRows, kvIdx*dh, (kvIdx+1)*dh)
+		vh := tensor.SliceCols(vRows, kvIdx*dh, (kvIdx+1)*dh)
+		scores := tensor.Scale(tensor.MatMulT(qh, kh), inv)
+		for t := 0; t < steps; t++ {
+			row := scores.Row(t)
+			for j := past + t + 1; j < total; j++ {
+				row[j] = float32(math.Inf(-1))
+			}
+		}
+		tensor.SoftmaxRows(scores)
+		oh := tensor.MatMul(scores, vh)
+		for t := 0; t < steps; t++ {
+			copy(out.Row(t)[hIdx*dh:(hIdx+1)*dh], oh.Row(t))
+		}
+	}
+	return out
+}
+
+// The fused kernel must match the composed-primitive oracle across MHA,
+// GQA-style head sharing, MQA, multiple steps, odd depths that are not
+// multiples of the four-row blocking, and prefix-aliased slots.
+func TestAttendSeqIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cases := []struct {
+		name               string
+		dh, heads, kvHeads int
+		past, steps        int
+		prefixLen          int
+	}{
+		{"mha-decode", 8, 4, 4, 13, 1, 0},
+		{"mha-prefill", 8, 4, 4, 0, 6, 0},
+		{"mqa-deep", 8, 8, 1, 29, 1, 0},
+		{"gqa-steps", 4, 6, 2, 7, 3, 0},
+		{"odd-dh", 5, 3, 3, 10, 2, 0},
+		{"prefix-aliased", 8, 4, 1, 9, 2, 5},
+		{"prefix-boundary", 8, 2, 2, 4, 1, 4},
+		{"depth-not-multiple-of-4", 8, 4, 1, 6, 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			width := tc.kvHeads * tc.dh
+			cache := kvcache.New(1, 1, 64, width)
+			if tc.prefixLen > 0 {
+				store := kvcache.NewPrefixStore(1, width, 0)
+				pk := []*tensor.Mat{tensor.New(tc.prefixLen, width).FillRand(rng, 1)}
+				pv := []*tensor.Mat{tensor.New(tc.prefixLen, width).FillRand(rng, 1)}
+				toks := make([]int, tc.prefixLen)
+				for i := range toks {
+					toks[i] = i + 1
+				}
+				p, err := store.Insert(toks, pk, pv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := cache.AttachPrefix(0, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Commit `past` positions (prefix contributes tc.prefixLen of
+			// them), then append the new steps uncommitted, as the engine
+			// does mid-pass.
+			privPast := tc.past - tc.prefixLen
+			if privPast > 0 {
+				k := tensor.New(privPast, width).FillRand(rng, 1)
+				v := tensor.New(privPast, width).FillRand(rng, 1)
+				cache.AppendSeq(0, 0, k, v, privPast)
+				cache.AdvanceSeq(0, privPast)
+			}
+			kNew := tensor.New(tc.steps, width).FillRand(rng, 1)
+			vNew := tensor.New(tc.steps, width).FillRand(rng, 1)
+			cache.AppendSeq(0, 0, kNew, vNew, tc.steps)
+
+			q := tensor.New(tc.steps, tc.heads*tc.dh).FillRand(rng, 1)
+			want := attendSeqNaive(tc.dh, q, cache, 0, 0, tc.steps)
+			got := AttendSeq(tc.dh, q, cache, 0, 0, tc.steps)
+			if d := tensor.MaxAbsDiff(got, want); d > 1e-5 {
+				t.Errorf("fused attention differs from naive by %g", d)
+			}
+
+			// The Into form with a shared scratch must agree exactly with
+			// the wrapper across repeated calls (scratch reuse is benign).
+			var scr AttnScratch
+			dst := tensor.New(tc.steps, tc.heads*tc.dh)
+			for i := 0; i < 3; i++ {
+				AttendSeqInto(dst, tc.dh, q, cache, 0, 0, tc.steps, &scr)
+				if d := tensor.MaxAbsDiff(dst, got); d != 0 {
+					t.Fatalf("run %d: AttendSeqInto differs from AttendSeq by %g", i, d)
+				}
+			}
+		})
+	}
+}
+
+// Steady-state fused attention must not allocate (the engine asserts the
+// whole decode path; this isolates the kernel).
+func TestAttendSeqIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	cache := kvcache.New(1, 1, 128, 8)
+	k := tensor.New(20, 8).FillRand(rng, 1)
+	v := tensor.New(20, 8).FillRand(rng, 1)
+	cache.AppendSeq(0, 0, k, v, 20)
+	cache.AdvanceSeq(0, 20)
+	q := tensor.New(1, 16).FillRand(rng, 1)
+	dst := tensor.New(1, 16)
+	var scr AttnScratch
+	scr.Reserve(128)
+	AttendSeqInto(dst, 8, q, cache, 0, 0, 1, &scr)
+	if avg := testing.AllocsPerRun(100, func() {
+		AttendSeqInto(dst, 8, q, cache, 0, 0, 1, &scr)
+	}); avg != 0 {
+		t.Errorf("AttendSeqInto allocates %v times per call", avg)
+	}
+}

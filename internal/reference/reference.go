@@ -180,10 +180,11 @@ func (m *Model) attention(l int, lw *LayerWeights, h *tensor.Mat, steps int) *te
 // continuous-batching case — are handled with no extra bookkeeping.
 func Attend(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, seqs, steps int) *tensor.Mat {
 	out := tensor.New(q.Rows, q.Cols)
+	var scr AttnScratch
 	for s := 0; s < seqs; s++ {
-		qs := tensor.SliceRows(q, s*steps, (s+1)*steps)
-		oh := AttendSeq(dh, qs, cache, layer, s, steps)
-		copy(out.Data[s*steps*q.Cols:(s+1)*steps*q.Cols], oh.Data)
+		qv := tensor.RowsView(q, s*steps, (s+1)*steps)
+		ov := tensor.RowsView(out, s*steps, (s+1)*steps)
+		AttendSeqInto(&ov, dh, &qv, cache, layer, s, steps, &scr)
 	}
 	return out
 }
@@ -194,40 +195,8 @@ func Attend(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, seqs, steps int)
 // per-slot primitive behind Attend, exported so the engine's slot-admission
 // path can attend a query block against an arbitrary cache slot.
 func AttendSeq(dh int, q *tensor.Mat, cache *kvcache.Cache, layer, slot, steps int) *tensor.Mat {
-	heads := q.Cols / dh
-	kvHeads := cache.KVWidth / dh
-	headsPerKV := heads / kvHeads
-	past := cache.SeqLen(slot)
-	total := past + steps
-	inv := float32(1 / math.Sqrt(float64(dh)))
-
-	kRows := cache.RowsK(layer, slot, total)
-	vRows := cache.RowsV(layer, slot, total)
-	out := tensor.New(steps, q.Cols)
-	for hIdx := 0; hIdx < heads; hIdx++ {
-		kvIdx := hIdx / headsPerKV
-		qh := tensor.New(steps, dh)
-		for t := 0; t < steps; t++ {
-			copy(qh.Row(t), q.Row(t)[hIdx*dh:(hIdx+1)*dh])
-		}
-		kh := tensor.SliceCols(kRows, kvIdx*dh, (kvIdx+1)*dh)
-		vh := tensor.SliceCols(vRows, kvIdx*dh, (kvIdx+1)*dh)
-		scores := tensor.Scale(tensor.MatMulT(qh, kh), inv)
-		// Causal mask: query at absolute position past+t sees keys
-		// 0..past+t.
-		for t := 0; t < steps; t++ {
-			row := scores.Row(t)
-			for j := past + t + 1; j < total; j++ {
-				row[j] = float32(math.Inf(-1))
-			}
-		}
-		tensor.SoftmaxRows(scores)
-		oh := tensor.MatMul(scores, vh)
-		for t := 0; t < steps; t++ {
-			copy(out.Row(t)[hIdx*dh:(hIdx+1)*dh], oh.Row(t))
-		}
-	}
-	return out
+	var scr AttnScratch
+	return AttendSeqInto(tensor.New(steps, q.Cols), dh, q, cache, layer, slot, steps, &scr)
 }
 
 // ffn computes the feedforward sub-block.

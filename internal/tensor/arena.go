@@ -1,0 +1,47 @@
+package tensor
+
+// Arena is a bump allocator of reusable matrices for hot loops with a
+// repeating allocation pattern, such as one decode iteration of the
+// sharded engine: call Reset at the top of each pass, then take every
+// temporary with Mat. On the first pass each request allocates; on every
+// later pass with the same request sequence (and non-growing sizes) the
+// same buffers are handed out again in order, so a steady-state pass
+// performs zero heap allocations.
+//
+// Matrices stay valid until the Reset that recycles them — callers must
+// not retain one across passes. Contents on reuse are stale; kernels are
+// expected to fully overwrite (or Zero) their output. An Arena is not safe
+// for concurrent use; give each goroutine its own.
+type Arena struct {
+	mats []*Mat
+	next int
+}
+
+// Reset recycles all matrices taken since the previous Reset.
+func (a *Arena) Reset() { a.next = 0 }
+
+// Mat returns a rows×cols matrix with unspecified contents. The backing
+// buffer is reused from the previous cycle when its capacity suffices and
+// replaced (grown) otherwise.
+func (a *Arena) Mat(rows, cols int) *Mat {
+	n := rows * cols
+	if a.next < len(a.mats) {
+		m := a.mats[a.next]
+		a.next++
+		if cap(m.Data) < n {
+			m.Data = make([]float32, n)
+		}
+		m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+		return m
+	}
+	m := &Mat{Rows: rows, Cols: cols, Data: make([]float32, n)}
+	a.mats = append(a.mats, m)
+	a.next++
+	return m
+}
+
+// Floats returns a float slice of length n with unspecified contents,
+// backed by the same reuse discipline as Mat.
+func (a *Arena) Floats(n int) []float32 {
+	return a.Mat(1, n).Data
+}

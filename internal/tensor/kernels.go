@@ -1,0 +1,264 @@
+package tensor
+
+import "fmt"
+
+// Blocked, bounds-check-eliminated GEMM kernels. The naive triple loops the
+// package started with are retained below (matMulNaive/matMulTNaive) as the
+// oracles the property tests compare against; these kernels unroll the
+// contraction dimension four-wide so each pass over the output row does
+// four multiply-adds per load/store pair, reslice every row to the output
+// length so the compiler drops the inner bounds checks, and split large row
+// ranges across the worker pool (pool.go).
+
+// Reshape resizes m to rows×cols, reusing its backing array when capacity
+// allows — the destination-passing contract every *Into kernel applies to
+// its dst. Contents after a growing reshape are unspecified; kernels fully
+// overwrite their output.
+func (m *Mat) Reshape(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// Zero sets every element to 0.
+func (m *Mat) Zero() {
+	clear(m.Data)
+}
+
+// MatMul computes a·b for a [m,k] and b [k,n].
+func MatMul(a, b *Mat) *Mat {
+	return MatMulInto(New(a.Rows, b.Cols), a, b)
+}
+
+// MatMulInto computes a·b into dst (reshaped to [a.Rows, b.Cols]) and
+// returns dst. dst must not alias a or b.
+func MatMulInto(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Reshape(a.Rows, b.Cols)
+	if !ShouldParallel(a.Rows, a.Rows*a.Cols*b.Cols) {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	// Capture value copies (sharing the same backing arrays) so the
+	// closure does not make the caller's *Mat headers escape — the serial
+	// path above must stay allocation-free even for stack-allocated views.
+	dv, av, bv := *dst, *a, *b
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		matMulRows(&dv, &av, &bv, lo, hi)
+	})
+	return dst
+}
+
+// matMulRows is the serial kernel over output rows [lo, hi): i-k-j order
+// (all row-major, stride-1 inner loops), register-blocked 2 output rows ×
+// 4 contraction steps so each pass over b's rows feeds eight accumulator
+// streams, with a skip for all-zero activation groups so zeroed rows —
+// inactive decode slots — cost almost nothing and stay exactly zero.
+func matMulRows(dst, a, b *Mat, lo, hi int) {
+	k, n := a.Cols, b.Cols
+	ad, bd, od := a.Data, b.Data, dst.Data
+	if n == 0 {
+		return
+	}
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		arow0 := ad[i*k : i*k+k]
+		arow1 := ad[(i+1)*k : (i+1)*k+k]
+		orow0 := od[i*n : i*n+n]
+		orow1 := od[(i+1)*n : (i+1)*n+n][:n]
+		clear(orow0)
+		clear(orow1)
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a00, a01, a02, a03 := arow0[kk], arow0[kk+1], arow0[kk+2], arow0[kk+3]
+			a10, a11, a12, a13 := arow1[kk], arow1[kk+1], arow1[kk+2], arow1[kk+3]
+			if a00 == 0 && a01 == 0 && a02 == 0 && a03 == 0 &&
+				a10 == 0 && a11 == 0 && a12 == 0 && a13 == 0 {
+				continue
+			}
+			b0 := bd[kk*n : kk*n+n][:n]
+			b1 := bd[(kk+1)*n : (kk+1)*n+n][:n]
+			b2 := bd[(kk+2)*n : (kk+2)*n+n][:n]
+			b3 := bd[(kk+3)*n : (kk+3)*n+n][:n]
+			for j := range orow0 {
+				bj0, bj1, bj2, bj3 := b0[j], b1[j], b2[j], b3[j]
+				orow0[j] += a00*bj0 + a01*bj1 + a02*bj2 + a03*bj3
+				orow1[j] += a10*bj0 + a11*bj1 + a12*bj2 + a13*bj3
+			}
+		}
+		for ; kk < k; kk++ {
+			a0, a1 := arow0[kk], arow1[kk]
+			if a0 == 0 && a1 == 0 {
+				continue
+			}
+			brow := bd[kk*n : kk*n+n][:n]
+			for j := range orow0 {
+				orow0[j] += a0 * brow[j]
+				orow1[j] += a1 * brow[j]
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := ad[i*k : i*k+k]
+		orow := od[i*n : i*n+n]
+		clear(orow)
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			b0 := bd[kk*n : kk*n+n][:n]
+			b1 := bd[(kk+1)*n : (kk+1)*n+n][:n]
+			b2 := bd[(kk+2)*n : (kk+2)*n+n][:n]
+			b3 := bd[(kk+3)*n : (kk+3)*n+n][:n]
+			for j := range orow {
+				orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+			}
+		}
+		for ; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : kk*n+n][:n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulT computes a·bᵀ for a [m,k] and b [n,k].
+func MatMulT(a, b *Mat) *Mat {
+	return MatMulTInto(New(a.Rows, b.Rows), a, b)
+}
+
+// MatMulTInto computes a·bᵀ into dst (reshaped to [a.Rows, b.Rows]) and
+// returns dst. dst must not alias a or b.
+func MatMulTInto(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Reshape(a.Rows, b.Rows)
+	if !ShouldParallel(a.Rows, a.Rows*a.Cols*b.Rows) {
+		matMulTRows(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	dv, av, bv := *dst, *a, *b
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		matMulTRows(&dv, &av, &bv, lo, hi)
+	})
+	return dst
+}
+
+// matMulTRows computes rows [lo, hi) of a·bᵀ: both operands are walked
+// along their stride-1 rows, with four independent accumulators per dot
+// product for instruction-level parallelism.
+func matMulTRows(dst, a, b *Mat, lo, hi int) {
+	k, n := a.Cols, b.Rows
+	ad, bd, od := a.Data, b.Data, dst.Data
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : i*k+k]
+		orow := od[i*n : i*n+n]
+		for j := range orow {
+			brow := bd[j*k : j*k+k][:len(arow)]
+			orow[j] = dot(arow, brow)
+		}
+	}
+}
+
+// dot is the shared 4-accumulator dot-product kernel. len(b) must be at
+// least len(a); callers reslice for bounds-check elimination.
+func dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// axpy adds s·x into y elementwise. len(x) must be at least len(y).
+func axpy(y []float32, s float32, x []float32) {
+	x = x[:len(y)]
+	for i := range y {
+		y[i] += s * x[i]
+	}
+}
+
+// Dot exposes the unrolled dot-product kernel: sum of a[i]·b[i] over
+// min(len(a), len(b)) — the building block fused kernels outside this
+// package (attention) are written with.
+func Dot(a, b []float32) float32 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	return dot(a, b[:len(a)])
+}
+
+// Axpy accumulates s·x into y over min(len(x), len(y)) elements.
+func Axpy(y []float32, s float32, x []float32) {
+	if len(x) < len(y) {
+		y = y[:len(x)]
+	}
+	axpy(y, s, x)
+}
+
+// matMulNaive is the package's original triple-loop a·b, retained verbatim
+// as the oracle for property-testing the blocked kernels.
+func matMulNaive(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for kk := 0; kk < a.Cols; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(kk)
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// matMulTNaive is the original a·bᵀ, retained as the property-test oracle.
+func matMulTNaive(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for kk := range arow {
+				s += arow[kk] * brow[kk]
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}

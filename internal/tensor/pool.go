@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker pool for the blocked GEMM kernels. Large matmuls split their row
+// range into tiles and run them on a fixed set of long-lived goroutines
+// sized by GOMAXPROCS; small matmuls (and any matmul when only one worker
+// is configured) run serially in the caller, so the decode hot path never
+// pays a dispatch or allocation cost. The pool is started lazily on first
+// parallel use and its goroutine count never grows afterwards — the
+// property tests assert repeated parallel matmuls leak no goroutines.
+
+// parallelMinFlops is the approximate multiply-add count below which
+// splitting a matmul across workers costs more than it saves. Decode-step
+// matmuls in the test configs sit well below it, which keeps the
+// zero-allocation guarantee of the engine's hot path independent of the
+// worker count.
+const parallelMinFlops = 1 << 17
+
+var pool struct {
+	mu      sync.Mutex
+	tasks   chan poolTask
+	started int          // goroutines running; fixed after first start
+	max     atomic.Int32 // configured parallelism; 0 = GOMAXPROCS at first use
+}
+
+type poolTask struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	done   *sync.WaitGroup
+}
+
+// SetWorkers bounds how many tiles a parallel kernel splits into (1 =
+// always serial) and returns the previous setting. It exists for callers
+// that need deterministic execution — allocation tests, embedders running
+// their own scheduler — and for tests that force the parallel path on a
+// single-core machine. Already-started pool goroutines are not stopped;
+// they idle when the bound is lowered.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	prev := pool.max.Swap(int32(n))
+	if prev == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return int(prev)
+}
+
+// Workers reports the current parallelism bound. It is a single atomic
+// load: ShouldParallel consults it on every matmul, concurrently from
+// every simulated chip, so it must not contend on a lock.
+func Workers() int {
+	if max := pool.max.Load(); max != 0 {
+		return int(max)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ensurePool starts the worker goroutines once and returns the task
+// channel. Workers are capped at GOMAXPROCS at first-start time; raising
+// SetWorkers beyond that later only affects tile counts, not goroutines.
+func ensurePool(want int) chan poolTask {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if pool.tasks == nil {
+		n := runtime.GOMAXPROCS(0)
+		if want > n {
+			n = want
+		}
+		pool.tasks = make(chan poolTask, 4*n)
+		for i := 0; i < n; i++ {
+			go poolWorker(pool.tasks)
+		}
+		pool.started = n
+	}
+	return pool.tasks
+}
+
+func poolWorker(tasks chan poolTask) {
+	for t := range tasks {
+		t.fn(t.lo, t.hi)
+		t.done.Done()
+	}
+}
+
+// ShouldParallel reports whether a row kernel of the given shape clears
+// the pool's split thresholds. Kernels check it before building the tile
+// closure, so the serial hot path allocates nothing.
+func ShouldParallel(rows, flops int) bool {
+	return rows >= 2 && flops >= parallelMinFlops && Workers() >= 2
+}
+
+// ParallelRows splits fn's row range [0, rows) across the worker pool. The
+// caller must have checked ShouldParallel (flops is the kernel's
+// multiply-add count, the split heuristic); it is exported for sibling
+// kernel packages (quant) so every matmul in the repo shares one pool and
+// one serial/parallel policy.
+func ParallelRows(rows, flops int, fn func(lo, hi int)) {
+	parallelRows(rows, flops, fn)
+}
+
+// parallelRows runs fn over [0, rows) split into per-worker tiles when the
+// work is large enough, serially otherwise. The caller always executes the
+// last tile itself, so at least one tile never waits on the pool.
+func parallelRows(rows, flops int, fn func(lo, hi int)) {
+	w := Workers()
+	if w < 2 || rows < 2 || flops < parallelMinFlops {
+		fn(0, rows)
+		return
+	}
+	tiles := w
+	if tiles > rows {
+		tiles = rows
+	}
+	tasks := ensurePool(w)
+	chunk := (rows + tiles - 1) / tiles
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+chunk < rows {
+		wg.Add(1)
+		tasks <- poolTask{lo: lo, hi: lo + chunk, fn: fn, done: &wg}
+		lo += chunk
+	}
+	fn(lo, rows)
+	wg.Wait()
+}

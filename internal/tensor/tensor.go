@@ -61,49 +61,6 @@ func (m *Mat) FillRand(rng *rand.Rand, scale float32) *Mat {
 	return m
 }
 
-// MatMul computes a·b for a [m,k] and b [k,n].
-func MatMul(a, b *Mat) *Mat {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for kk := 0; kk < a.Cols; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(kk)
-			for j := range orow {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	return out
-}
-
-// MatMulT computes a·bᵀ for a [m,k] and b [n,k].
-func MatMulT(a, b *Mat) *Mat {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulT shape mismatch %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s float32
-			for kk := range arow {
-				s += arow[kk] * brow[kk]
-			}
-			out.Set(i, j, s)
-		}
-	}
-	return out
-}
-
 // Add returns a+b elementwise.
 func Add(a, b *Mat) *Mat {
 	checkSameShape("add", a, b)
@@ -126,11 +83,20 @@ func AddInPlace(a, b *Mat) *Mat {
 // Mul returns the elementwise product.
 func Mul(a, b *Mat) *Mat {
 	checkSameShape("mul", a, b)
-	out := New(a.Rows, a.Cols)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
+	return MulInto(New(a.Rows, a.Cols), a, b)
+}
+
+// MulInto computes the elementwise product a⊙b into dst (reshaped to a's
+// shape) and returns dst. dst may alias a or b.
+func MulInto(dst, a, b *Mat) *Mat {
+	checkSameShape("mul", a, b)
+	dst.Reshape(a.Rows, a.Cols)
+	bd := b.Data[:len(a.Data)]
+	od := dst.Data[:len(a.Data)]
+	for i, v := range a.Data {
+		od[i] = v * bd[i]
 	}
-	return out
+	return dst
 }
 
 // Scale multiplies every element by s, returning a new matrix.
@@ -140,6 +106,21 @@ func Scale(a *Mat, s float32) *Mat {
 		out.Data[i] = a.Data[i] * s
 	}
 	return out
+}
+
+// ScaleInPlace multiplies every element by s in place and returns a.
+func ScaleInPlace(a *Mat, s float32) *Mat {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+	return a
+}
+
+// CopyInto copies src into dst (reshaped to src's shape) and returns dst.
+func CopyInto(dst, src *Mat) *Mat {
+	dst.Reshape(src.Rows, src.Cols)
+	copy(dst.Data, src.Data)
+	return dst
 }
 
 func checkSameShape(op string, a, b *Mat) {
@@ -168,6 +149,16 @@ func SliceRows(a *Mat, lo, hi int) *Mat {
 	out := New(hi-lo, a.Cols)
 	copy(out.Data, a.Data[lo*a.Cols:hi*a.Cols])
 	return out
+}
+
+// RowsView returns a zero-copy view of rows [lo, hi): the returned matrix
+// shares a's storage. It is returned by value so hot paths can take views
+// without a heap allocation.
+func RowsView(a *Mat, lo, hi int) Mat {
+	if lo < 0 || hi > a.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: row view [%d,%d) of %d", lo, hi, a.Rows))
+	}
+	return Mat{Rows: hi - lo, Cols: a.Cols, Data: a.Data[lo*a.Cols : hi*a.Cols]}
 }
 
 // ConcatCols concatenates matrices with equal row counts side by side.
@@ -219,13 +210,22 @@ func ConcatRows(ms ...*Mat) *Mat {
 
 // Transpose returns aᵀ.
 func Transpose(a *Mat) *Mat {
-	out := New(a.Cols, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			out.Set(j, i, a.At(i, j))
+	return TransposeInto(New(a.Cols, a.Rows), a)
+}
+
+// TransposeInto computes aᵀ into dst (reshaped to [a.Cols, a.Rows]) and
+// returns dst. dst must not alias a.
+func TransposeInto(dst, a *Mat) *Mat {
+	dst.Reshape(a.Cols, a.Rows)
+	rows, cols := a.Rows, a.Cols
+	ad, od := a.Data, dst.Data
+	for i := 0; i < rows; i++ {
+		arow := ad[i*cols : i*cols+cols]
+		for j, v := range arow {
+			od[j*rows+i] = v
 		}
 	}
-	return out
+	return dst
 }
 
 // log2e converts natural exponent to base-2 exponent: e^x = 2^(x·log2(e)).
@@ -252,6 +252,16 @@ func softmaxRows(a *Mat, base2 bool) {
 			if v > maxV {
 				maxV = v
 			}
+		}
+		if math.IsInf(float64(maxV), -1) {
+			// Every entry is -Inf — a fully masked attention row. The
+			// limit of softmax as all logits go to -Inf together is an
+			// all-zero distribution (no attendable position), not the
+			// NaNs that exp(-Inf - -Inf) would produce.
+			for j := range row {
+				row[j] = 0
+			}
+			continue
 		}
 		var sum float32
 		for j, v := range row {
@@ -316,6 +326,16 @@ func SiLUBase2(a *Mat) {
 	for i, v := range a.Data {
 		e := float32(math.Exp2(float64(-v) * log2e))
 		a.Data[i] = v / (1 + e)
+	}
+}
+
+// SiLUFast is SiLU with the sigmoid's exponential computed by Exp32
+// instead of float64 math.Exp — the engine's hot-path variant, within ~2
+// float32 ulps of SiLU (the same error class as the fused attention
+// softmax) at a fraction of the cost.
+func SiLUFast(a *Mat) {
+	for i, v := range a.Data {
+		a.Data[i] = v / (1 + Exp32(-v))
 	}
 }
 
