@@ -8,7 +8,7 @@ FUZZTIME ?= 10s
 # Benchmarks the regression gate watches and the allowed ns/op slip. The
 # threshold is generous because the committed baseline may come from
 # different hardware; the gate exists to catch order-of-magnitude slips.
-GATE_BENCHES ?= BenchmarkEngineDecodeStep,BenchmarkContinuousBatching
+GATE_BENCHES ?= BenchmarkEngineDecodeStep,BenchmarkEngineDecodeStepInt8KV,BenchmarkContinuousBatching
 GATE_MAX_REGRESS ?= 20
 
 # Tier-1 verification plus race detection in one command.
@@ -35,9 +35,10 @@ fmt-check:
 	fi
 
 # Short fuzz pass over every seeded fuzz target (one `go test -fuzz` run
-# per package, as the fuzzer requires).
+# per target, as the fuzzer requires).
 fuzz-smoke:
 	$(GO) test ./internal/kvcache  -run='^$$' -fuzz=FuzzSlotIsolation    -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/kvcache  -run='^$$' -fuzz=FuzzInt8AppendView   -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/quant    -run='^$$' -fuzz=FuzzQuantizeRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sampling -run='^$$' -fuzz=FuzzFilterTopKP      -fuzztime=$(FUZZTIME)
 

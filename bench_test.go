@@ -429,6 +429,30 @@ func BenchmarkEnginePrefill(b *testing.B) {
 // gate depends on that stability; the original unbounded form attended an
 // ever-deeper cache and its ns/op scaled with b.N).
 func BenchmarkEngineDecodeStep(b *testing.B) {
+	benchEngineDecodeStep(b, engine.Options{
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+	})
+}
+
+// BenchmarkEngineDecodeStepInt8KV is BenchmarkEngineDecodeStep with the
+// KV cache stored quantized (engine.Options.Int8KV): the same model,
+// mesh, layout and bounded-depth harness, so the two are directly
+// comparable. The walk touches half the cache bytes and pays one scale
+// multiply per scored row plus an int8→float32 convert per element; at
+// the CI config's toy shapes the cache is L1-resident, so expect rough
+// parity (within ~10-15%) rather than a win — the bandwidth the mode
+// halves only binds once a slot's K/V stream outsizes the cache
+// hierarchy, which is exactly the long-context regime the analytic model
+// prices. The gate pins this benchmark's own baseline (ns/op and its
+// allocs/op, which must stay at the fp32 path's figure).
+func BenchmarkEngineDecodeStepInt8KV(b *testing.B) {
+	benchEngineDecodeStep(b, engine.Options{
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Int8KV: true,
+	})
+}
+
+func benchEngineDecodeStep(b *testing.B, opts engine.Options) {
 	cfg := model.Config{
 		Name: "bench", Layers: 2, DModel: 64, DFF: 128,
 		Heads: 8, HeadDim: 8, KVHeads: 1, Attn: model.Multiquery,
@@ -436,9 +460,7 @@ func BenchmarkEngineDecodeStep(b *testing.B) {
 	}
 	const maxLen = 256
 	w := reference.NewWeights(cfg, 1)
-	eng, err := engine.New(w, hardware.Torus{X: 2, Y: 2, Z: 2}, engine.Options{
-		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
-	}, 8, maxLen)
+	eng, err := engine.New(w, hardware.Torus{X: 2, Y: 2, Z: 2}, opts, 8, maxLen)
 	if err != nil {
 		b.Fatal(err)
 	}

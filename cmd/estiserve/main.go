@@ -26,6 +26,14 @@
 // model:
 //
 //	estiserve -model palm540b -prefix-cache -prefill-chunk 256 -requests 200
+//
+// With -int8-kv, both tiers (and the continuous pool) store the KV cache
+// quantized at one byte per element: the analysis halves KV memory
+// traffic and cache bytes, the admission budgets accept roughly twice the
+// context or slots, and a max-context comparison against the bf16 cache
+// is printed:
+//
+//	estiserve -model palm540b -int8-kv -context 4096
 package main
 
 import (
@@ -39,12 +47,14 @@ import (
 	"esti/internal/model"
 	"esti/internal/partition"
 	"esti/internal/perf"
+	"esti/internal/planner"
 	"esti/internal/serve"
 )
 
 func main() {
 	modelName := flag.String("model", "palm540b", "model: palm8b, palm62b, palm540b, mtnlg530b")
 	weights := flag.String("weights", "int8", "weight format: bf16 or int8")
+	int8KV := flag.Bool("int8-kv", false, "store the KV cache int8 (half the cache bytes; ~2x the servable context per chip)")
 	preChips := flag.Int("prefill-chips", 64, "prefill tier chip count")
 	preBatch := flag.Int("prefill-batch", 1, "prefill tier batch")
 	decChips := flag.Int("decode-chips", 64, "decode tier chip count")
@@ -73,10 +83,15 @@ func main() {
 	if strings.EqualFold(*weights, "int8") {
 		dt = model.Int8
 	}
+	kvDT := model.BF16
+	if *int8KV {
+		kvDT = model.Int8
+	}
 
 	sc := serve.Config{
 		Model:   cfg,
 		Weights: dt,
+		KVDType: kvDT,
 		Prefill: serve.Tier{
 			System: hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(*preChips)),
 			Batch:  *preBatch,
@@ -107,8 +122,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s, %s weights — %d-chip prefill (batch %d) → %d-chip decode (batch %d)\n",
-		cfg.Name, dt, *preChips, *preBatch, *decChips, *decBatch)
+	fmt.Printf("%s, %s weights, %s KV cache — %d-chip prefill (batch %d) → %d-chip decode (batch %d)\n",
+		cfg.Name, dt, kvDT, *preChips, *preBatch, *decChips, *decBatch)
+	if *int8KV {
+		// The storage win in context terms: Table 1's max-context numbers
+		// for the decode tier, bf16 vs int8 cache under the same budget.
+		decSys := sc.Decode.System
+		bfCtx := planner.MaxContextKV(cfg, decSys, sc.Decode.Attn, *decBatch, 0.30, model.BF16)
+		q8Ctx := planner.MaxContextKV(cfg, decSys, sc.Decode.Attn, *decBatch, 0.30, model.Int8)
+		if bfCtx > 0 {
+			fmt.Printf("  int8 KV: %.0f B/token vs %.0f bf16; max context at batch %d: %d vs %d tokens (%.1fx)\n",
+				cfg.KVBytesPerTokenAs(model.Int8), cfg.KVBytesPerToken(),
+				*decBatch, q8Ctx, bfCtx, float64(q8Ctx)/float64(bfCtx))
+		} else {
+			fmt.Printf("  int8 KV: %.0f B/token vs %.0f bf16; batch %d admits no context under the Table 1 budget in bf16 (%d tokens int8)\n",
+				cfg.KVBytesPerTokenAs(model.Int8), cfg.KVBytesPerToken(), *decBatch, q8Ctx)
+		}
+	}
 	fmt.Printf("  prefill: %.2fs per batch (%.2f req/s)\n", m.PrefillService, m.PrefillRate)
 	fmt.Printf("  decode:  %.2fs per batch (%.2f req/s)\n", m.DecodeService, m.DecodeRate)
 	fmt.Printf("  pipeline: %.2f req/s, %s-bound; min latency %.2fs; %.3f chip-s/generated token\n",
@@ -143,6 +173,7 @@ func main() {
 		bc := batching.Config{
 			Model:        cfg,
 			Weights:      dt,
+			KVDType:      kvDT,
 			System:       hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(totalChips)),
 			FFN:          partition.FFN2DWeightStationary,
 			Attn:         decodeAttn(cfg),

@@ -130,6 +130,15 @@ func MakePlan(cfg Model, sys System, dt DType, w Workload, k Knobs) Plan {
 	return planner.Make(cfg, sys, dt, w, planner.MinLatency, k)
 }
 
+// MaxContextKV returns the longest servable context under a per-chip KV
+// byte budget (a fraction of HBM) with the cache stored in the given
+// dtype — Table 1's calculation, where Int8 doubles every entry. Set
+// Request.KVDType (analytic) or engine Options.Int8KV (functional) to run
+// with the quantized cache.
+func MaxContextKV(cfg Model, sys System, attn AttnLayout, batch int, kvBudget float64, kv DType) int {
+	return planner.MaxContextKV(cfg, sys, attn, batch, kvBudget, kv)
+}
+
 // Continuous batching, re-exported.
 type (
 	// ContinuousConfig describes a continuous-batching pool: one chip

@@ -171,6 +171,11 @@ func pick(rng *rand.Rand, weights []float64) int {
 type Config struct {
 	Model   model.Config
 	Weights model.DType
+	// KVDType is the KV-cache storage format (BF16 default). Int8 halves
+	// per-slot cache bytes, so the same HBM admits roughly twice the
+	// Slots×MaxLen product — the admission budget validate() enforces —
+	// and every decode iteration pays half the KV memory traffic.
+	KVDType model.DType
 	System  hardware.System
 	FFN     partition.FFNLayout
 	Attn    partition.AttnLayout
@@ -215,7 +220,8 @@ func (c Config) validate() error {
 	// can never run full.
 	probe := perf.Decode(perf.Request{
 		Model: c.Model, System: c.System, Weights: c.Weights,
-		FFN: c.FFN, Attn: c.Attn,
+		KVDType: c.KVDType,
+		FFN:     c.FFN, Attn: c.Attn,
 		Batch: c.Slots, Context: c.MaxLen - 1, Gen: 1,
 	}, c.Knobs)
 	if !probe.Feasible {
@@ -321,7 +327,8 @@ func Simulate(c Config, trace Trace) (Result, error) {
 		}
 		res := perf.Prefill(perf.Request{
 			Model: c.Model, System: c.System, Weights: c.Weights,
-			FFN: c.FFN, Attn: c.Attn, Batch: 1, Context: ctx, Past: past,
+			KVDType: c.KVDType,
+			FFN:     c.FFN, Attn: c.Attn, Batch: 1, Context: ctx, Past: past,
 		}, c.Knobs)
 		prefillMemo[key] = res.Time
 		return res.Time
@@ -337,7 +344,8 @@ func Simulate(c Config, trace Trace) (Result, error) {
 		}
 		res := perf.Decode(perf.Request{
 			Model: c.Model, System: c.System, Weights: c.Weights,
-			FFN: c.FFN, Attn: c.Attn, Batch: batch, Context: key.ctx, Gen: 1,
+			KVDType: c.KVDType,
+			FFN:     c.FFN, Attn: c.Attn, Batch: batch, Context: key.ctx, Gen: 1,
 		}, c.Knobs)
 		stepMemo[key] = res.Time
 		return res.Time

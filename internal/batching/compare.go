@@ -62,6 +62,7 @@ func CompareStatic(c Config, trace Trace) (Comparison, error) {
 	staticCfg := serve.Config{
 		Model:   c.Model,
 		Weights: c.Weights,
+		KVDType: c.KVDType,
 		Prefill: serve.Tier{System: half, Batch: 1, FFN: c.FFN, Attn: c.Attn},
 		Decode:  serve.Tier{System: half, Batch: 64, FFN: c.FFN, Attn: c.Attn},
 		Context: trace.MaxContext(),

@@ -1,0 +1,41 @@
+package batching
+
+import (
+	"testing"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+)
+
+// The scheduler's admission budget runs on true cache bytes: a
+// Slots×MaxLen product whose bf16 KV cache overflows the chips' HBM at
+// full occupancy validates — and simulates — with the int8 cache, so the
+// same hardware genuinely admits ~2x the context per slot.
+func TestSimulateInt8KVAdmitsDoubledContext(t *testing.T) {
+	base := Config{
+		Model:   model.PaLM540BPadded(),
+		Weights: model.Int8,
+		System:  hardware.TPUv4Slice(4, 4, 4),
+		FFN:     partition.FFN2DWeightStationary,
+		Attn:    partition.AttnShardBatch,
+		Slots:   256,
+		MaxLen:  50000, // past the bf16 full-occupancy OOM boundary (~46k)
+		Knobs:   perf.DefaultKnobs(),
+	}
+	trace := ChatbotTrace(20, 0.1, 3)
+
+	if _, err := Simulate(base, trace); err == nil {
+		t.Fatal("bf16 KV at 256 slots x 50000 tokens should fail admission validation")
+	}
+	q8 := base
+	q8.KVDType = model.Int8
+	res, err := Simulate(q8, trace)
+	if err != nil {
+		t.Fatalf("int8 KV should validate at the doubled context: %v", err)
+	}
+	if res.Completed != len(trace.Requests) {
+		t.Errorf("completed %d of %d requests", res.Completed, len(trace.Requests))
+	}
+}

@@ -65,13 +65,22 @@ import (
 	"esti/internal/tensor"
 )
 
-// Options selects the partitioning and weight format.
+// Options selects the partitioning and storage formats.
 type Options struct {
 	FFN  partition.FFNLayout
 	Attn partition.AttnLayout
 	// Int8Weights stores all projection matrices quantized (per-column
 	// symmetric int8), reproducing the paper's weight-only quantization.
 	Int8Weights bool
+	// Int8KV stores every chip's KV-cache shard quantized (per-row
+	// symmetric int8, quantized at append, dequantized inside the fused
+	// attention walk), halving cache bytes per position and so roughly
+	// doubling the servable context per chip — §3.3's int8 path applied
+	// to the decode phase's dominant memory object. Orthogonal to
+	// Int8Weights and valid on every layout: the K/V projections, the
+	// resharding all-to-alls and all other wire traffic are unchanged
+	// (quantization happens at the cache boundary on each chip).
+	Int8KV bool
 }
 
 // weight is a matrix in either float or int8 form.
@@ -268,8 +277,13 @@ func (e *Engine) Reset() {
 func (e *Engine) Mesh() *mesh.Mesh { return e.m }
 
 // ChipCacheBytes returns the allocated KV-cache bytes on one chip — the
-// quantity whose sharding behavior Table 1 is about.
+// quantity whose sharding behavior Table 1 is about. With Int8KV it
+// reports the true quantized backing bytes (just over half the analytic
+// model's bf16 baseline per position).
 func (e *Engine) ChipCacheBytes(rank int) int { return e.chips[rank].cache.Bytes() }
+
+// Int8KV reports whether the session stores its KV cache quantized.
+func (e *Engine) Int8KV() bool { return e.opts.Int8KV }
 
 // Batch returns the session batch size.
 func (e *Engine) Batch() int { return e.batch }
@@ -344,7 +358,7 @@ func (e *Engine) buildChip(w *reference.Weights, rank int) *chipState {
 		// ExFyz weight shards, batch-sharded KV cache.
 		st.wg = e.buildWG(w, rank)
 		st.finalGain = append([]float32(nil), w.FinalGain...)
-		st.cache = kvcache.New(cfg.Layers, e.batch/n, e.maxLen, cfg.KVHeads*cfg.HeadDim)
+		st.cache = e.newKVCache(e.batch/n, cfg.KVHeads*cfg.HeadDim)
 		return st
 	}
 
@@ -403,15 +417,24 @@ func (e *Engine) buildChip(w *reference.Weights, rank int) *chipState {
 	// KV cache shard.
 	switch e.opts.Attn {
 	case partition.AttnShardBatch:
-		st.cache = kvcache.New(cfg.Layers, e.batch/n, e.maxLen, cfg.KVHeads*dh)
+		st.cache = e.newKVCache(e.batch/n, cfg.KVHeads*dh)
 	case partition.AttnShardHeads:
 		width := cfg.KVHeads * dh // multiquery: replicated single head
 		if cfg.KVHeads > 1 {
 			width = cfg.KVHeads / n * dh
 		}
-		st.cache = kvcache.New(cfg.Layers, e.batch, e.maxLen, width)
+		st.cache = e.newKVCache(e.batch, width)
 	}
 	return st
+}
+
+// newKVCache allocates one chip's cache shard in the session's KV storage
+// mode. Shard shapes are identical either way; only bytes per row differ.
+func (e *Engine) newKVCache(seqs, width int) *kvcache.Cache {
+	if e.opts.Int8KV {
+		return kvcache.NewInt8(e.cfg.Layers, seqs, e.maxLen, width)
+	}
+	return kvcache.New(e.cfg.Layers, seqs, e.maxLen, width)
 }
 
 func sliceGain(g []float32, lo, n int) []float32 {

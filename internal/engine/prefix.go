@@ -44,7 +44,14 @@ func (r *PrefixRef) Len() int { return len(r.tokens) }
 // or attached slot becomes invalid, so reset only an idle engine).
 func (e *Engine) EnablePrefixCache(budgetPerChip int) {
 	for _, st := range e.chips {
-		st.prefix = kvcache.NewPrefixStore(e.cfg.Layers, st.cache.KVWidth, budgetPerChip)
+		if e.opts.Int8KV {
+			// An int8 session stores its shared prefixes quantized too:
+			// attached blocks must match the cache's storage mode, and the
+			// per-chip budget then buys twice the resident templates.
+			st.prefix = kvcache.NewPrefixStoreInt8(e.cfg.Layers, st.cache.KVWidth, budgetPerChip)
+		} else {
+			st.prefix = kvcache.NewPrefixStore(e.cfg.Layers, st.cache.KVWidth, budgetPerChip)
+		}
 	}
 }
 

@@ -1,0 +1,175 @@
+package kvcache
+
+// Int8 KV storage. At large batch and long context the KV cache — not the
+// weights — dominates per-chip memory and the decode step's memory traffic
+// (§3.3, Figure 11; DeepSpeed Inference makes the same point for serving):
+// halving cache bytes per token roughly doubles the servable context or
+// batch per chip and cuts the attention walk's dominant HBM traffic. This
+// file implements that storage mode behind the existing Cache API:
+//
+//   - Append/AppendSeq quantize each K/V row in place as it arrives — one
+//     symmetric int8 scale per (slot, position) row, computed from the
+//     row's own dynamic range (a token's projection, unlike a weight
+//     column, has per-token statistics). Non-finite inputs are clamped by
+//     quant.QuantizeRowInto, so stored scales are always finite.
+//   - ViewK8/ViewV8 are the int8 twins of ViewK/ViewV: zero-copy
+//     two-segment views (shared prefix + private suffix) the fused
+//     attention walk dequantizes on the fly, one scale multiply per row.
+//   - RowsK/RowsV still work — they materialize a dequantized float32 copy
+//     for cold paths (prefix capture, tests); the hot path never calls
+//     them.
+//
+// Because quantization happens at the cache boundary, everything upstream
+// (projections, collectives, wire volume) is unchanged, and a
+// dequantize→requantize round trip is lossless (the row max re-quantizes
+// to ±127 under the same scale), so capturing a quantized slot into a
+// quantized PrefixStore preserves the stored values bit for bit.
+
+import (
+	"fmt"
+
+	"esti/internal/quant"
+	"esti/internal/tensor"
+)
+
+// NewInt8 allocates an empty cache whose K/V storage is per-row-scaled
+// int8. Same slot discipline and API as New; the attention walk must read
+// it through ViewK8/ViewV8.
+func NewInt8(layers, seqs, maxLen, kvWidth int) *Cache {
+	c := newCommon(layers, seqs, maxLen, kvWidth)
+	c.int8Mode = true
+	c.k8 = make([][]int8, layers)
+	c.v8 = make([][]int8, layers)
+	c.kScale = make([][]float32, layers)
+	c.vScale = make([][]float32, layers)
+	for l := 0; l < layers; l++ {
+		c.k8[l] = make([]int8, seqs*maxLen*kvWidth)
+		c.v8[l] = make([]int8, seqs*maxLen*kvWidth)
+		c.kScale[l] = make([]float32, seqs*maxLen)
+		c.vScale[l] = make([]float32, seqs*maxLen)
+	}
+	return c
+}
+
+// Int8 reports whether the cache stores K/V quantized.
+func (c *Cache) Int8() bool { return c.int8Mode }
+
+// appendRow8 quantizes one K and one V row into storage row `dst`.
+func (c *Cache) appendRow8(l, dst int, k, v []float32) {
+	w := c.KVWidth
+	c.kScale[l][dst] = quant.QuantizeRowInto(c.k8[l][dst*w:(dst+1)*w], k)
+	c.vScale[l][dst] = quant.QuantizeRowInto(c.v8[l][dst*w:(dst+1)*w], v)
+}
+
+// resetSeq8 zeroes slot s's quantized rows and scales in every layer.
+func (c *Cache) resetSeq8(s int) {
+	w := c.KVWidth
+	for l := 0; l < c.Layers; l++ {
+		lo, hi := s*c.MaxLen, (s+1)*c.MaxLen
+		vals := c.k8[l][lo*w : hi*w]
+		for i := range vals {
+			vals[i] = 0
+		}
+		vals = c.v8[l][lo*w : hi*w]
+		for i := range vals {
+			vals[i] = 0
+		}
+		zero(c.kScale[l][lo:hi])
+		zero(c.vScale[l][lo:hi])
+	}
+}
+
+// materializePrefix8 is MaterializePrefix's int8 path: quantized prefix
+// rows and their scales are copied verbatim into private storage (no
+// dequantize/requantize round trip), shifting the private suffix up.
+func (c *Cache) materializePrefix8(s int, p *Prefix, pl int) {
+	w := c.KVWidth
+	for l := 0; l < c.Layers; l++ {
+		base := s * c.MaxLen
+		for t := c.lens[s] - 1; t >= 0; t-- {
+			copy(c.k8[l][(base+pl+t)*w:(base+pl+t+1)*w], c.k8[l][(base+t)*w:(base+t+1)*w])
+			copy(c.v8[l][(base+pl+t)*w:(base+pl+t+1)*w], c.v8[l][(base+t)*w:(base+t+1)*w])
+			c.kScale[l][base+pl+t] = c.kScale[l][base+t]
+			c.vScale[l][base+pl+t] = c.vScale[l][base+t]
+		}
+		for t := 0; t < pl; t++ {
+			copy(c.k8[l][(base+t)*w:(base+t+1)*w], p.k8[l][t*w:(t+1)*w])
+			copy(c.v8[l][(base+t)*w:(base+t+1)*w], p.v8[l][t*w:(t+1)*w])
+			c.kScale[l][base+t] = p.kScale[l][t]
+			c.vScale[l][base+t] = p.vScale[l][t]
+		}
+	}
+}
+
+// ViewK8 returns zero-copy quantized views of slot s's K rows covering
+// positions [0, total): the shared-prefix segment (zero rows when no
+// prefix is attached) followed by the slot's private segment, each with
+// one scale per row. Both views alias live storage and are returned by
+// value, so the int8 attention walk runs with no copy and no allocation —
+// the quantized twin of ViewK. As there, total may extend past the
+// committed SeqLen into rows appended mid-pass. Panics on a float32 cache.
+func (c *Cache) ViewK8(l, s, total int) (pre, priv quant.Int8Rows) {
+	return c.segments8(l, s, total, true)
+}
+
+// ViewV8 is ViewK8 for the V tensor.
+func (c *Cache) ViewV8(l, s, total int) (pre, priv quant.Int8Rows) {
+	return c.segments8(l, s, total, false)
+}
+
+func (c *Cache) segments8(l, s, total int, wantK bool) (pre, priv quant.Int8Rows) {
+	if !c.int8Mode {
+		panic("kvcache: ViewK8/ViewV8 on a float32 cache; use ViewK/ViewV")
+	}
+	c.checkSlot(s)
+	if total < 0 || total > c.MaxLen {
+		panic(fmt.Sprintf("kvcache: slot %d row range %d out of capacity %d", s, total, c.MaxLen))
+	}
+	w := c.KVWidth
+	vals, scales := c.k8, c.kScale
+	if !wantK {
+		vals, scales = c.v8, c.vScale
+	}
+	pl := 0
+	if p := c.pfx[s]; p != nil {
+		pv, ps := p.k8, p.kScale
+		if !wantK {
+			pv, ps = p.v8, p.vScale
+		}
+		pl = p.Len()
+		if pl > total {
+			pl = total
+		}
+		pre = quant.Int8Rows{Rows: pl, Cols: w, Data: pv[l][:pl*w], Scales: ps[l][:pl]}
+	} else {
+		pre = quant.Int8Rows{Cols: w}
+	}
+	n := total - pl
+	base := s * c.MaxLen
+	priv = quant.Int8Rows{Rows: n, Cols: w,
+		Data: vals[l][base*w : (base+n)*w], Scales: scales[l][base : base+n]}
+	return pre, priv
+}
+
+// rows8 materializes positions [0, total) of slot s as a dequantized
+// float32 matrix — the int8 mode's RowsK/RowsV. Unlike the float32 mode
+// this always copies (the backing storage is not float32), which is fine
+// for its callers: prefix capture and tests, never the attention walk.
+func (c *Cache) rows8(l, s, total int, wantK bool) *tensor.Mat {
+	pre, priv := c.segments8(l, s, total, wantK)
+	out := tensor.New(total, c.KVWidth)
+	for t := 0; t < pre.Rows; t++ {
+		quant.DequantizeRowInto(out.Row(t), pre.Row(t), pre.Scales[t])
+	}
+	for t := 0; t < priv.Rows; t++ {
+		quant.DequantizeRowInto(out.Row(pre.Rows+t), priv.Row(t), priv.Scales[t])
+	}
+	return out
+}
+
+func storageName(int8Mode bool) string {
+	if int8Mode {
+		return "int8"
+	}
+	return "float32"
+}

@@ -28,6 +28,11 @@ import (
 // Rows are (slot, position)-major: row = slot*MaxLen + pos. The slot
 // dimension here is whatever slice of the logical batch the owner holds —
 // the whole batch on the reference model, a shard on a batch-sharded chip.
+//
+// Storage is either float32 (New) or per-row-scaled int8 (NewInt8, see
+// int8.go): the int8 mode quantizes K/V at append and serves the attention
+// walk through quantized views (ViewK8/ViewV8), halving cache bytes per
+// position — the memory the paper shows binds maximum context (Table 1).
 type Cache struct {
 	Layers  int
 	Seqs    int // slots held by this cache (logical batch or a shard)
@@ -38,17 +43,19 @@ type Cache struct {
 	used []bool    // advisory slot-allocation map (Alloc/Release)
 	pfx  []*Prefix // attached shared prefix, per slot (nil = none)
 
-	K, V []*tensor.Mat // per layer: [Seqs*MaxLen, KVWidth] (private rows)
+	K, V []*tensor.Mat // per layer: [Seqs*MaxLen, KVWidth] (private rows; nil in int8 mode)
+
+	// int8 mode (see int8.go): quantized values plus one scale per
+	// (slot, position) row, per layer. Nil in float32 mode.
+	int8Mode       bool
+	k8, v8         [][]int8    // per layer: Seqs*MaxLen*KVWidth values
+	kScale, vScale [][]float32 // per layer: Seqs*MaxLen row scales
 }
 
-// New allocates an empty cache. All slots start free and zero-length.
+// New allocates an empty float32 cache. All slots start free and
+// zero-length.
 func New(layers, seqs, maxLen, kvWidth int) *Cache {
-	c := &Cache{
-		Layers: layers, Seqs: seqs, MaxLen: maxLen, KVWidth: kvWidth,
-		lens: make([]int, seqs),
-		used: make([]bool, seqs),
-		pfx:  make([]*Prefix, seqs),
-	}
+	c := newCommon(layers, seqs, maxLen, kvWidth)
 	c.K = make([]*tensor.Mat, layers)
 	c.V = make([]*tensor.Mat, layers)
 	for l := 0; l < layers; l++ {
@@ -56,6 +63,15 @@ func New(layers, seqs, maxLen, kvWidth int) *Cache {
 		c.V[l] = tensor.New(seqs*maxLen, kvWidth)
 	}
 	return c
+}
+
+func newCommon(layers, seqs, maxLen, kvWidth int) *Cache {
+	return &Cache{
+		Layers: layers, Seqs: seqs, MaxLen: maxLen, KVWidth: kvWidth,
+		lens: make([]int, seqs),
+		used: make([]bool, seqs),
+		pfx:  make([]*Prefix, seqs),
+	}
 }
 
 func (c *Cache) checkSlot(s int) {
@@ -101,11 +117,15 @@ func (c *Cache) AttachPrefix(s int, p *Prefix) error {
 	if c.lens[s] != 0 || c.pfx[s] != nil {
 		return fmt.Errorf("kvcache: slot %d not empty (len %d, prefix %d)", s, c.lens[s], c.prefixLen(s))
 	}
-	if len(p.K) != c.Layers {
-		return fmt.Errorf("kvcache: prefix has %d layers, cache %d", len(p.K), c.Layers)
+	if p.int8Mode != c.int8Mode {
+		return fmt.Errorf("kvcache: prefix stored as %s, cache is %s (the attention walk reads one format)",
+			storageName(p.int8Mode), storageName(c.int8Mode))
 	}
-	if p.K[0].Cols != c.KVWidth {
-		return fmt.Errorf("kvcache: prefix width %d, cache %d", p.K[0].Cols, c.KVWidth)
+	if p.layers != c.Layers {
+		return fmt.Errorf("kvcache: prefix has %d layers, cache %d", p.layers, c.Layers)
+	}
+	if p.width != c.KVWidth {
+		return fmt.Errorf("kvcache: prefix width %d, cache %d", p.width, c.KVWidth)
 	}
 	if p.Len() > c.MaxLen {
 		return fmt.Errorf("kvcache: prefix of %d tokens exceeds slot capacity %d", p.Len(), c.MaxLen)
@@ -138,16 +158,20 @@ func (c *Cache) MaterializePrefix(s int) *Prefix {
 		return nil
 	}
 	pl := p.Len()
-	for l := 0; l < c.Layers; l++ {
-		base := s * c.MaxLen
-		// Private rows move up by pl; copy backwards so ranges may overlap.
-		for t := c.lens[s] - 1; t >= 0; t-- {
-			copy(c.K[l].Row(base+pl+t), c.K[l].Row(base+t))
-			copy(c.V[l].Row(base+pl+t), c.V[l].Row(base+t))
-		}
-		for t := 0; t < pl; t++ {
-			copy(c.K[l].Row(base+t), p.K[l].Row(t))
-			copy(c.V[l].Row(base+t), p.V[l].Row(t))
+	if c.int8Mode {
+		c.materializePrefix8(s, p, pl)
+	} else {
+		for l := 0; l < c.Layers; l++ {
+			base := s * c.MaxLen
+			// Private rows move up by pl; copy backwards so ranges may overlap.
+			for t := c.lens[s] - 1; t >= 0; t-- {
+				copy(c.K[l].Row(base+pl+t), c.K[l].Row(base+t))
+				copy(c.V[l].Row(base+pl+t), c.V[l].Row(base+t))
+			}
+			for t := 0; t < pl; t++ {
+				copy(c.K[l].Row(base+t), p.K[l].Row(t))
+				copy(c.V[l].Row(base+t), p.V[l].Row(t))
+			}
 		}
 	}
 	c.lens[s] += pl
@@ -204,6 +228,10 @@ func (c *Cache) appendAt(l, s int, k, v *tensor.Mat, src, steps int) {
 	}
 	for t := 0; t < steps; t++ {
 		dst := s*c.MaxLen + c.lens[s] + t
+		if c.int8Mode {
+			c.appendRow8(l, dst, k.Row(src+t), v.Row(src+t))
+			continue
+		}
 		copy(c.K[l].Row(dst), k.Row(src+t))
 		copy(c.V[l].Row(dst), v.Row(src+t))
 	}
@@ -288,6 +316,10 @@ func (c *Cache) ResetSeq(s int) *Prefix {
 	c.checkSlot(s)
 	c.lens[s] = 0
 	p := c.DetachPrefix(s)
+	if c.int8Mode {
+		c.resetSeq8(s)
+		return p
+	}
 	for l := 0; l < c.Layers; l++ {
 		for t := 0; t < c.MaxLen; t++ {
 			zero(c.K[l].Row(s*c.MaxLen + t))
@@ -322,11 +354,19 @@ func (c *Cache) Values(l, s int) *tensor.Mat {
 // prefix and the private suffix is materialized into a contiguous matrix.
 // Kernels that must never copy or allocate use ViewK/ViewV instead.
 func (c *Cache) RowsK(l, s, total int) *tensor.Mat {
+	if c.int8Mode {
+		// Cold-path reads of a quantized cache (prefix capture, tests)
+		// materialize a dequantized copy; the hot path reads ViewK8.
+		return c.rows8(l, s, total, true)
+	}
 	return c.rows(c.K, l, s, total, func(p *Prefix) []*tensor.Mat { return p.K })
 }
 
 // RowsV is RowsK for the V tensor.
 func (c *Cache) RowsV(l, s, total int) *tensor.Mat {
+	if c.int8Mode {
+		return c.rows8(l, s, total, false)
+	}
 	return c.rows(c.V, l, s, total, func(p *Prefix) []*tensor.Mat { return p.V })
 }
 
@@ -372,6 +412,9 @@ func (c *Cache) ViewV(l, s, total int) (pre, priv tensor.Mat) {
 }
 
 func (c *Cache) segments(store []*tensor.Mat, l, s, total int, side func(*Prefix) []*tensor.Mat) (pre, priv tensor.Mat) {
+	if c.int8Mode {
+		panic("kvcache: float32 ViewK/ViewV on an int8 cache; the fused walk reads ViewK8/ViewV8")
+	}
 	c.checkSlot(s)
 	if total < 0 || total > c.MaxLen {
 		panic(fmt.Sprintf("kvcache: slot %d row range %d out of capacity %d", s, total, c.MaxLen))
@@ -390,9 +433,13 @@ func (c *Cache) segments(store []*tensor.Mat, l, s, total int, side func(*Prefix
 	return pre, priv
 }
 
-// Bytes is the allocated footprint (float32 storage).
+// Bytes is the allocated footprint of the true backing storage: float32
+// values in the default mode, int8 values plus one float32 scale per
+// (position, tensor) row in int8 mode — just over a quarter of the
+// float32 bytes per position (the analytic model's bf16 baseline makes it
+// one half, the paper's Table 1 doubling).
 func (c *Cache) Bytes() int {
-	return 2 * c.Layers * c.Seqs * c.MaxLen * c.KVWidth * 4
+	return 2 * c.Layers * c.Seqs * c.MaxLen * c.bytesPerRow()
 }
 
 // UsedBytes is the footprint of filled *private* positions only, summed
@@ -404,7 +451,16 @@ func (c *Cache) UsedBytes() int {
 	for _, l := range c.lens {
 		total += l
 	}
-	return 2 * c.Layers * total * c.KVWidth * 4
+	return 2 * c.Layers * total * c.bytesPerRow()
+}
+
+// bytesPerRow is the backing bytes of one stored K (or V) row: KVWidth
+// float32s, or KVWidth int8s plus the row's float32 scale.
+func (c *Cache) bytesPerRow() int {
+	if c.int8Mode {
+		return c.KVWidth + 4
+	}
+	return c.KVWidth * 4
 }
 
 // Reset empties the cache without reallocating: every slot becomes free

@@ -20,16 +20,27 @@ package kvcache
 import (
 	"fmt"
 
+	"esti/internal/quant"
 	"esti/internal/tensor"
 )
 
 // Prefix is one immutable cached prefix: per-layer K/V for its tokens.
 // It is created by PrefixStore.Insert and shared read-only between any
-// number of cache slots; refcounts are managed by Acquire/Release.
+// number of cache slots; refcounts are managed by Acquire/Release. In an
+// int8 store the block is held quantized (per-row scaled int8, the same
+// format as an int8 Cache), so a shared system prompt is resident at half
+// the bf16 bytes and attaches only to int8 caches.
 type Prefix struct {
-	tokens []int
-	// K and V are per layer [len(tokens), width], read-only once inserted.
+	tokens        []int
+	layers, width int
+	// K and V are per layer [len(tokens), width], read-only once inserted
+	// (float32 stores only).
 	K, V []*tensor.Mat
+	// int8 stores only: quantized values and per-row scales, per layer —
+	// the storage ViewK8/ViewV8 serve the prefix segment from.
+	int8Mode       bool
+	k8, v8         [][]int8
+	kScale, vScale [][]float32
 
 	refs    int
 	lastUse int64
@@ -45,12 +56,17 @@ func (p *Prefix) Tokens() []int { return append([]int(nil), p.tokens...) }
 // Refs returns the number of live references (attached slots).
 func (p *Prefix) Refs() int { return p.refs }
 
-// Bytes is the float32 K+V footprint of the prefix.
+// Bytes is the true K+V backing footprint of the prefix: float32 values,
+// or — in an int8 store — int8 values plus one float32 scale per row, so
+// budget accounting and LRU eviction run in quantized units.
 func (p *Prefix) Bytes() int {
-	if len(p.K) == 0 {
+	if p.layers == 0 {
 		return 0
 	}
-	return 2 * len(p.K) * len(p.tokens) * p.K[0].Cols * 4
+	if p.int8Mode {
+		return 2 * p.layers * len(p.tokens) * (p.width + 4)
+	}
+	return 2 * p.layers * len(p.tokens) * p.width * 4
 }
 
 // trieNode is one token edge in the prefix trie. An entry may sit on an
@@ -68,7 +84,8 @@ type trieNode struct {
 // schedulers in this repo are single-threaded per engine).
 type PrefixStore struct {
 	layers, width int
-	budget        int // bytes; 0 = unlimited
+	budget        int  // bytes; 0 = unlimited
+	int8Mode      bool // store blocks quantized (NewPrefixStoreInt8)
 
 	root    trieNode
 	clock   int64
@@ -107,6 +124,20 @@ func NewPrefixStore(layers, width, budgetBytes int) *PrefixStore {
 	}
 	return &PrefixStore{layers: layers, width: width, budget: budgetBytes}
 }
+
+// NewPrefixStoreInt8 creates an empty store that holds its blocks
+// quantized (per-row scaled int8): Insert still takes float32 K/V and
+// quantizes them on the way in, entries attach only to int8 caches, and
+// the byte budget governs quantized bytes — the same prefixes resident at
+// half the bf16 footprint, or twice the prefixes under one budget.
+func NewPrefixStoreInt8(layers, width, budgetBytes int) *PrefixStore {
+	ps := NewPrefixStore(layers, width, budgetBytes)
+	ps.int8Mode = true
+	return ps
+}
+
+// Int8 reports whether the store holds its blocks quantized.
+func (ps *PrefixStore) Int8() bool { return ps.int8Mode }
 
 // Stats returns a snapshot of store counters.
 func (ps *PrefixStore) Stats() PrefixStats {
@@ -165,13 +196,33 @@ func (ps *PrefixStore) Insert(tokens []int, k, v []*tensor.Mat) (*Prefix, error)
 
 	p := &Prefix{
 		tokens: append([]int(nil), tokens...),
-		K:      make([]*tensor.Mat, ps.layers),
-		V:      make([]*tensor.Mat, ps.layers),
-		node:   node,
+		layers: ps.layers, width: ps.width,
+		int8Mode: ps.int8Mode,
+		node:     node,
 	}
-	for l := 0; l < ps.layers; l++ {
-		p.K[l] = k[l].Clone()
-		p.V[l] = v[l].Clone()
+	if ps.int8Mode {
+		n := len(tokens)
+		p.k8 = make([][]int8, ps.layers)
+		p.v8 = make([][]int8, ps.layers)
+		p.kScale = make([][]float32, ps.layers)
+		p.vScale = make([][]float32, ps.layers)
+		for l := 0; l < ps.layers; l++ {
+			p.k8[l] = make([]int8, n*ps.width)
+			p.v8[l] = make([]int8, n*ps.width)
+			p.kScale[l] = make([]float32, n)
+			p.vScale[l] = make([]float32, n)
+			for t := 0; t < n; t++ {
+				p.kScale[l][t] = quant.QuantizeRowInto(p.k8[l][t*ps.width:(t+1)*ps.width], k[l].Row(t))
+				p.vScale[l][t] = quant.QuantizeRowInto(p.v8[l][t*ps.width:(t+1)*ps.width], v[l].Row(t))
+			}
+		}
+	} else {
+		p.K = make([]*tensor.Mat, ps.layers)
+		p.V = make([]*tensor.Mat, ps.layers)
+		for l := 0; l < ps.layers; l++ {
+			p.K[l] = k[l].Clone()
+			p.V[l] = v[l].Clone()
+		}
 	}
 	node.entry = p
 	p.lastUse = ps.tick()

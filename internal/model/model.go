@@ -172,12 +172,29 @@ func (c Config) WeightBytesPerLayer(d DType) float64 {
 // KVBytesPerTokenPerLayer is the KV-cache footprint of one token in one
 // layer (K and V, stored in bf16: 2 bytes each element).
 func (c Config) KVBytesPerTokenPerLayer() float64 {
-	return 2 * float64(c.KVHeads) * float64(c.HeadDim) * 2
+	return c.KVBytesPerTokenPerLayerAs(BF16)
+}
+
+// KVBytesPerTokenPerLayerAs is KVBytesPerTokenPerLayer with the cache
+// stored in the given dtype: an int8 KV cache (quantize at append,
+// dequantize in the attention walk) halves the bytes per cached token,
+// which halves the decode step's dominant HBM traffic and doubles the
+// context that fits a chip's memory budget. The per-row quantization
+// scales are a <2% overhead at real KV widths and are ignored here, like
+// every other sub-percent constant in the analytic model.
+func (c Config) KVBytesPerTokenPerLayerAs(d DType) float64 {
+	return 2 * float64(c.KVHeads) * float64(c.HeadDim) * d.Bytes()
 }
 
 // KVBytesPerToken is the full-model KV-cache footprint of one token.
 func (c Config) KVBytesPerToken() float64 {
-	return float64(c.Layers) * c.KVBytesPerTokenPerLayer()
+	return c.KVBytesPerTokenAs(BF16)
+}
+
+// KVBytesPerTokenAs is KVBytesPerToken for a KV cache stored in the given
+// dtype.
+func (c Config) KVBytesPerTokenAs(d DType) float64 {
+	return float64(c.Layers) * c.KVBytesPerTokenPerLayerAs(d)
 }
 
 // MatmulFLOPsPerToken is the forward-pass matmul work per token: 2 FLOPs per

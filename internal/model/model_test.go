@@ -188,3 +188,18 @@ func TestTableD1(t *testing.T) {
 		t.Error("block formulations wrong")
 	}
 }
+
+// An int8 KV cache stores one byte per element instead of bf16's two:
+// exactly half the bytes per token, at every granularity.
+func TestKVBytesPerTokenAs(t *testing.T) {
+	c := PaLM540B()
+	if got, want := c.KVBytesPerTokenPerLayerAs(Int8), c.KVBytesPerTokenPerLayer()/2; got != want {
+		t.Errorf("int8 KV bytes/token/layer = %g, want %g", got, want)
+	}
+	if got, want := c.KVBytesPerTokenAs(Int8), c.KVBytesPerToken()/2; got != want {
+		t.Errorf("int8 KV bytes/token = %g, want %g", got, want)
+	}
+	if c.KVBytesPerTokenAs(BF16) != c.KVBytesPerToken() {
+		t.Error("BF16 KVBytesPerTokenAs does not match the default")
+	}
+}

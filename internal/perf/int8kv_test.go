@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"testing"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+)
+
+// The int8 KV cache's two analytic effects: at a memory-bound decode
+// point the KV component of the step time halves, and a configuration
+// whose bf16 cache overflows the HBM budget becomes feasible — the
+// "doubled servable context" the storage mode exists for.
+func TestInt8KVDTypeHalvesKVMemAndDoublesContext(t *testing.T) {
+	base := Request{
+		Model: model.PaLM540BPadded(), System: hardware.TPUv4Slice(4, 4, 4),
+		Weights: model.Int8,
+		FFN:     partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Batch: 256, Context: 8192, Gen: 64,
+	}
+	k := DefaultKnobs()
+
+	bf := Decode(base, k)
+	if !bf.Feasible {
+		t.Fatalf("bf16 baseline infeasible: %s", bf.Reason)
+	}
+	q := base
+	q.KVDType = model.Int8
+	q8 := Decode(q, k)
+	if !q8.Feasible {
+		t.Fatalf("int8-KV point infeasible: %s", q8.Reason)
+	}
+	// The KV component is max(memory, compute); at this depth it is
+	// memory-bound, so the int8 reading must be about half.
+	ratio := q8.Breakdown.KVMem / bf.Breakdown.KVMem
+	if ratio < 0.45 || ratio > 0.75 {
+		t.Errorf("int8 KV memory time is %.2fx bf16 (%.4fs vs %.4fs), want ~0.5x",
+			ratio, q8.Breakdown.KVMem, bf.Breakdown.KVMem)
+	}
+
+	// Push the context until the bf16 cache overflows HBM (the boundary
+	// sits near 46k tokens at this batch); the int8 cache must still fit
+	// far beyond it (~2x the servable context — int8 stays feasible out to
+	// ~90k here).
+	long := base
+	long.Context = 60000
+	if r := Decode(long, k); r.Feasible {
+		t.Fatalf("expected bf16 OOM at context %d; got feasible", long.Context)
+	}
+	long.KVDType = model.Int8
+	if r := Decode(long, k); !r.Feasible {
+		t.Errorf("int8 KV should admit context %d: %s", long.Context, r.Reason)
+	}
+}

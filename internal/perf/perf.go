@@ -104,6 +104,11 @@ type Request struct {
 	Model   model.Config
 	System  hardware.System
 	Weights model.DType
+	// KVDType is the KV-cache storage format. The default (BF16) is the
+	// paper's baseline; Int8 models the quantize-at-append cache: half the
+	// attention phase's KV memory traffic and half the cache bytes against
+	// the HBM budget, so roughly twice the feasible context or batch.
+	KVDType model.DType
 	// FFN and Attn are the partitioning layouts for the phase being
 	// evaluated.
 	FFN  partition.FFNLayout
@@ -279,7 +284,7 @@ func layerStep(r Request, k Knobs, plan partition.FFNPlan, attn partition.AttnPl
 	}
 
 	// Attention: KV-cache memory traffic and attention einsum compute.
-	kvLogical := float64(r.Batch) * ctx * c.KVBytesPerTokenPerLayer()
+	kvLogical := float64(r.Batch) * ctx * c.KVBytesPerTokenPerLayerAs(r.KVDType)
 	kvPerChip := kvLogical * kvShardFactor(attn, r.Batch)
 	tKV := kvPerChip / hbm
 	attnFLOPs := 2 * 2 * tokens * ctx * float64(c.Heads*c.HeadDim)
@@ -394,7 +399,7 @@ func checkMemory(r Request, k Knobs, attn partition.AttnPlan, maxCtx float64) (o
 	sys := r.System
 	n := float64(sys.Chips())
 	weights := c.WeightBytes(r.Weights) / n
-	kv := float64(r.Batch) * maxCtx * c.KVBytesPerToken() * kvShardFactor(attn, r.Batch)
+	kv := float64(r.Batch) * maxCtx * c.KVBytesPerTokenAs(r.KVDType) * kvShardFactor(attn, r.Batch)
 	budget := k.HBMBudget * sys.Chip.HBMBytes
 	if weights+kv > budget {
 		return false, fmt.Sprintf("OOM: weights %.1f GiB + KV %.1f GiB > budget %.1f GiB/chip",

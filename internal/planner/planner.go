@@ -201,10 +201,19 @@ func BestSystem(cfg model.Config, chip hardware.Chip, chips int, dt model.DType,
 // budget binds.
 func MaxContext(cfg model.Config, sys hardware.System, attnLayout partition.AttnLayout,
 	batch int, kvBudget float64) int {
+	return MaxContextKV(cfg, sys, attnLayout, batch, kvBudget, model.BF16)
+}
+
+// MaxContextKV is MaxContext with an explicit KV-cache storage dtype: the
+// int8 KV cache (1 byte per element instead of bf16's 2) doubles the
+// servable context under the same per-chip budget — the Table 1 numbers
+// with the cache quantized.
+func MaxContextKV(cfg model.Config, sys hardware.System, attnLayout partition.AttnLayout,
+	batch int, kvBudget float64, kv model.DType) int {
 
 	attn := partition.PlanAttn(attnLayout, sys.Torus, cfg.Heads, cfg.KVHeads)
 	perChipBudget := kvBudget * sys.Chip.HBMBytes
-	bytesPerCtxTokenPerChip := float64(batch) * cfg.KVBytesPerToken() *
+	bytesPerCtxTokenPerChip := float64(batch) * cfg.KVBytesPerTokenAs(kv) *
 		attn.KVReplication() / float64(sys.Chips())
 	if bytesPerCtxTokenPerChip <= 0 {
 		return 0

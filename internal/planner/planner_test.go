@@ -195,3 +195,25 @@ func TestObjectiveString(t *testing.T) {
 		t.Error("objective strings wrong")
 	}
 }
+
+// The int8 KV cache doubles the servable context at every operating point
+// — Table 1 with the cache quantized.
+func TestMaxContextKVInt8Doubles(t *testing.T) {
+	sys := sys64()
+	for _, batch := range []int{128, 512} {
+		bf := MaxContextKV(model.PaLM540BPadded(), sys, partition.AttnShardBatch, batch, 0.30, model.BF16)
+		q8 := MaxContextKV(model.PaLM540BPadded(), sys, partition.AttnShardBatch, batch, 0.30, model.Int8)
+		if bf < 1 {
+			t.Fatalf("batch %d: degenerate bf16 max context %d", batch, bf)
+		}
+		if r := float64(q8) / float64(bf); r < 1.99 || r > 2.01 {
+			t.Errorf("batch %d: int8/bf16 max context ratio = %.3f (%d vs %d), want 2",
+				batch, r, q8, bf)
+		}
+	}
+	// The dtype-less form is the bf16 reading.
+	if MaxContext(model.PaLM540BPadded(), sys, partition.AttnShardBatch, 512, 0.30) !=
+		MaxContextKV(model.PaLM540BPadded(), sys, partition.AttnShardBatch, 512, 0.30, model.BF16) {
+		t.Error("MaxContext does not match MaxContextKV at BF16")
+	}
+}

@@ -1,0 +1,126 @@
+package quant
+
+import "math"
+
+// Row-wise int8 quantization for activation-like tensors — the KV cache's
+// storage format (the paper's §3.3 int8 path applied to the cache rather
+// than the weights). Where Int8Mat carries one scale per *column* (right
+// for weights, whose statistics are per output channel), a K/V row is one
+// token's projection: its dynamic range is per token, so the cache stores
+// one scale per row and the attention walk applies it once per scored
+// position. These kernels are shared by kvcache (quantize at append,
+// dequantize for cold-path reads) and reference's fused int8 attention
+// walk (the dot/axpy tails of its 4-row-blocked loops).
+
+// Int8Rows is a zero-copy view of consecutive quantized rows: Data holds
+// Rows×Cols int8 values row-major and Scales one float32 per row, with
+// value ≈ int8 · scale. It is passed by value so hot paths can take views
+// without a heap allocation, mirroring tensor.RowsView.
+type Int8Rows struct {
+	Rows, Cols int
+	Data       []int8
+	Scales     []float32
+}
+
+// Row returns row r's quantized values.
+func (v Int8Rows) Row(r int) []int8 { return v.Data[r*v.Cols : (r+1)*v.Cols] }
+
+// rowClampBound bounds the magnitude a row element may carry into
+// quantization. Half the largest float32 rather than the largest: with a
+// full-range bound the round trip itself overflows — scale = MaxFloat32/127
+// rounds such that 127·scale is +Inf — so the bound is chosen to keep
+// every dequantized value finite with a 2× rounding margin.
+const rowClampBound = math.MaxFloat32 / 2
+
+// QuantizeRowInto quantizes src into dst (len(dst) == len(src)) with a
+// single symmetric per-row scale, returned. Adversarial inputs are
+// clamped rather than propagated — NaN to 0, and anything beyond
+// ±MaxFloat32/2 (±Inf included) to that bound — so the stored scale is
+// always finite-positive and every dequantized read-back is finite; a
+// poisoned projection row can never turn the cache into a NaN factory.
+// This is the documented behavior the fuzz suite pins down. An all-zero
+// row quantizes to zeros under scale 1, like Quantize's all-zero column.
+func QuantizeRowInto(dst []int8, src []float32) (scale float32) {
+	if len(src) == 0 {
+		return 1
+	}
+	_ = dst[len(src)-1]
+	var maxAbs float32
+	for _, v := range src {
+		a := clampFinite(v)
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale = maxAbs / 127
+	if scale == 0 {
+		for i := range src {
+			dst[i] = 0
+		}
+		return 1
+	}
+	inv := 1 / scale
+	for i, v := range src {
+		dst[i] = int8(clamp(math.RoundToEven(float64(clampFinite(v)*inv)), -127, 127))
+	}
+	return scale
+}
+
+// clampFinite maps NaN to 0 and magnitudes beyond the row clamp bound
+// (±Inf included) to ±rowClampBound.
+func clampFinite(v float32) float32 {
+	if v != v { // NaN
+		return 0
+	}
+	if v > rowClampBound {
+		return rowClampBound
+	}
+	if v < -rowClampBound {
+		return -rowClampBound
+	}
+	return v
+}
+
+// DequantizeRowInto reconstructs a quantized row into dst.
+func DequantizeRowInto(dst []float32, src []int8, scale float32) {
+	if len(src) == 0 {
+		return
+	}
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] = float32(v) * scale
+	}
+}
+
+// DotF32I8 is the shared int8-dot kernel of the fused attention walk: the
+// float32 accumulation of a · b over b's raw int8 values, unrolled
+// four-wide like tensor.Dot. The caller applies the row scale once to the
+// result — one multiply per row instead of one per element, which is what
+// keeps the int8 score loop at fp32-walk cost.
+func DotF32I8(a []float32, b []int8) float32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * float32(b[i])
+		s1 += a[i+1] * float32(b[i+1])
+		s2 += a[i+2] * float32(b[i+2])
+		s3 += a[i+3] * float32(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * float32(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// AxpyF32I8 accumulates s·v into dst over v's raw int8 values; the caller
+// folds the row scale into s.
+func AxpyF32I8(dst []float32, s float32, v []int8) {
+	v = v[:len(dst)]
+	for i := range dst {
+		dst[i] += s * float32(v[i])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"esti/internal/kvcache"
+	"esti/internal/quant"
 	"esti/internal/tensor"
 )
 
@@ -45,7 +46,9 @@ func (s *AttnScratch) buf(n int) []float32 {
 // ([steps, localHeads·dh]) against cache slot `slot` into dst, which must
 // already be shaped [steps, q.Cols]. Semantics are identical to AttendSeq
 // (see its doc comment for the head mapping and depth contract); this is
-// the fused, allocation-free form the engine's hot path calls.
+// the fused, allocation-free form the engine's hot path calls. An int8
+// cache runs the quantized walk (attendSeqInt8): same loop structure, K/V
+// read as raw int8 with one scale multiply per row.
 func AttendSeqInto(dst *tensor.Mat, dh int, q *tensor.Mat, cache *kvcache.Cache, layer, slot, steps int, scr *AttnScratch) *tensor.Mat {
 	heads := q.Cols / dh
 	kvHeads := cache.KVWidth / dh
@@ -53,6 +56,10 @@ func AttendSeqInto(dst *tensor.Mat, dh int, q *tensor.Mat, cache *kvcache.Cache,
 	past := cache.SeqLen(slot)
 	total := past + steps
 	inv := float32(1 / math.Sqrt(float64(dh)))
+
+	if cache.Int8() {
+		return attendSeqInt8(dst, dh, q, cache, layer, slot, steps, scr, headsPerKV, past, inv)
+	}
 
 	preK, privK := cache.ViewK(layer, slot, total)
 	preV, privV := cache.ViewV(layer, slot, total)
@@ -72,19 +79,69 @@ func AttendSeqInto(dst *tensor.Mat, dh int, q *tensor.Mat, cache *kvcache.Cache,
 			maxV := scoreSeg(probs[:npre], preK.Data, preK.Cols, kvo, qrow, inv,
 				scoreSeg(probs[npre:limit], privK.Data, privK.Cols, kvo, qrow, inv,
 					float32(math.Inf(-1))))
-			var sum float32
-			for j := 0; j < limit; j++ {
-				p := tensor.Exp32(probs[j] - maxV)
-				probs[j] = p
-				sum += p
-			}
-			scale := 1 / sum
+			scale := softmaxInPlace(probs[:limit], maxV)
 			orow := dst.Row(t)[qo : qo+dh]
 			for i := range orow {
 				orow[i] = 0
 			}
 			weighSeg(orow, probs[:npre], preV.Data, preV.Cols, kvo, scale)
 			weighSeg(orow, probs[npre:limit], privV.Data, privV.Cols, kvo, scale)
+		}
+	}
+	return dst
+}
+
+// softmaxInPlace exponentiates max-subtracted scores with the batched
+// Exp32Rows and returns the reciprocal of their sum — the 1/Σ factor both
+// weigh loops fold into their per-row weights. Shared by the float32 and
+// int8 walks.
+func softmaxInPlace(probs []float32, maxV float32) (invSum float32) {
+	for j := range probs {
+		probs[j] -= maxV
+	}
+	tensor.Exp32Rows(probs)
+	var sum float32
+	for _, p := range probs {
+		sum += p
+	}
+	return 1 / sum
+}
+
+// attendSeqInt8 is the quantized walk: the same fused score → softmax →
+// weigh structure over the cache's int8 two-segment views. Scores are
+// float32 dots over raw int8 K values with the row scale applied once per
+// row (quant.DotF32I8's contract), and the weighted V sum folds each row's
+// scale into its softmax weight — no float32 K/V is ever materialized and
+// nothing allocates, so the decode hot path keeps its zero-alloc contract
+// while touching half the cache bytes.
+func attendSeqInt8(dst *tensor.Mat, dh int, q *tensor.Mat, cache *kvcache.Cache, layer, slot, steps int, scr *AttnScratch, headsPerKV, past int, inv float32) *tensor.Mat {
+	heads := q.Cols / dh
+	total := past + steps
+	preK, privK := cache.ViewK8(layer, slot, total)
+	preV, privV := cache.ViewV8(layer, slot, total)
+	pl := preK.Rows
+	probs := scr.buf(total)
+
+	for h := 0; h < heads; h++ {
+		qo := h * dh
+		kvo := (h / headsPerKV) * dh
+		for t := 0; t < steps; t++ {
+			qrow := q.Row(t)[qo : qo+dh]
+			limit := past + t + 1
+			npre := limit
+			if npre > pl {
+				npre = pl
+			}
+			maxV := scoreSegI8(probs[:npre], preK, kvo, qrow, inv,
+				scoreSegI8(probs[npre:limit], privK, kvo, qrow, inv,
+					float32(math.Inf(-1))))
+			scale := softmaxInPlace(probs[:limit], maxV)
+			orow := dst.Row(t)[qo : qo+dh]
+			for i := range orow {
+				orow[i] = 0
+			}
+			weighSegI8(orow, probs[:npre], preV, kvo, scale)
+			weighSegI8(orow, probs[npre:limit], privV, kvo, scale)
 		}
 	}
 	return dst
@@ -136,6 +193,84 @@ func scoreSeg(out []float32, kd []float32, w, kvo int, q []float32, inv, maxV fl
 		}
 	}
 	return maxV
+}
+
+// scoreSegI8 is scoreSeg over a quantized K segment: out[j] gets
+// inv·scales[j]·(q · k8_j), the int8×float32 dot with the row's
+// dequantization folded into one multiply after the accumulation. Blocked
+// four rows at a time like the float32 form; the tail rows use the shared
+// quant.DotF32I8 kernel.
+func scoreSegI8(out []float32, seg quant.Int8Rows, kvo int, q []float32, inv, maxV float32) float32 {
+	dh := len(q)
+	kd, scales, w := seg.Data, seg.Scales, seg.Cols
+	j := 0
+	for ; j+4 <= len(out); j += 4 {
+		o0 := j*w + kvo
+		k0 := kd[o0 : o0+dh][:dh]
+		k1 := kd[o0+w : o0+w+dh][:dh]
+		k2 := kd[o0+2*w : o0+2*w+dh][:dh]
+		k3 := kd[o0+3*w : o0+3*w+dh][:dh]
+		var s0, s1, s2, s3 float32
+		for i, qv := range q {
+			s0 += qv * float32(k0[i])
+			s1 += qv * float32(k1[i])
+			s2 += qv * float32(k2[i])
+			s3 += qv * float32(k3[i])
+		}
+		s0 = inv * scales[j] * s0
+		s1 = inv * scales[j+1] * s1
+		s2 = inv * scales[j+2] * s2
+		s3 = inv * scales[j+3] * s3
+		out[j], out[j+1], out[j+2], out[j+3] = s0, s1, s2, s3
+		if s0 > maxV {
+			maxV = s0
+		}
+		if s1 > maxV {
+			maxV = s1
+		}
+		if s2 > maxV {
+			maxV = s2
+		}
+		if s3 > maxV {
+			maxV = s3
+		}
+	}
+	for ; j < len(out); j++ {
+		o := j*w + kvo
+		s := inv * scales[j] * quant.DotF32I8(q, kd[o:o+dh])
+		out[j] = s
+		if s > maxV {
+			maxV = s
+		}
+	}
+	return maxV
+}
+
+// weighSegI8 is weighSeg over a quantized V segment: each row's
+// dequantization scale folds into its softmax weight (p_j·invSum·scale_j),
+// so the inner loop is a pure int8→float32 multiply-accumulate.
+func weighSegI8(orow []float32, p []float32, seg quant.Int8Rows, kvo int, scale float32) {
+	dh := len(orow)
+	vd, scales, w := seg.Data, seg.Scales, seg.Cols
+	j := 0
+	for ; j+4 <= len(p); j += 4 {
+		o0 := j*w + kvo
+		v0 := vd[o0 : o0+dh][:dh]
+		v1 := vd[o0+w : o0+w+dh][:dh]
+		v2 := vd[o0+2*w : o0+2*w+dh][:dh]
+		v3 := vd[o0+3*w : o0+3*w+dh][:dh]
+		p0 := p[j] * scale * scales[j]
+		p1 := p[j+1] * scale * scales[j+1]
+		p2 := p[j+2] * scale * scales[j+2]
+		p3 := p[j+3] * scale * scales[j+3]
+		for i := range orow {
+			orow[i] += p0*float32(v0[i]) + p1*float32(v1[i]) + p2*float32(v2[i]) + p3*float32(v3[i])
+		}
+	}
+	for ; j < len(p); j++ {
+		o := j*w + kvo
+		quant.AxpyF32I8(orow, p[j]*scale*scales[j], vd[o:o+dh])
+	}
 }
 
 // weighSeg accumulates scale·p_j·v_j into orow over one V segment (len(p)

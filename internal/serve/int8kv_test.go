@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"testing"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+)
+
+// KVDType threads through both tiers: a long-context deployment whose
+// bf16 decode-tier cache overflows HBM analyzes cleanly with the int8 KV
+// cache, and where both fit, the int8 decode batch is served no slower
+// (half the KV memory traffic can only help).
+func TestAnalyzeInt8KVAdmitsLongerContext(t *testing.T) {
+	c := Config{
+		Model:   model.PaLM540BPadded(),
+		Weights: model.Int8,
+		Prefill: Tier{
+			System: hardware.TPUv4Slice(4, 4, 4), Batch: 1,
+			FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		},
+		Decode: Tier{
+			System: hardware.TPUv4Slice(4, 4, 4), Batch: 256,
+			FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		},
+		Context: 50000, // past the bf16 decode tier's OOM boundary (~46k)
+		Gen:     64,
+		Knobs:   perf.DefaultKnobs(),
+	}
+	if _, err := Analyze(c); err == nil {
+		t.Fatal("bf16 KV at context 50000 should be infeasible")
+	}
+	c.KVDType = model.Int8
+	m, err := Analyze(c)
+	if err != nil {
+		t.Fatalf("int8 KV should admit context 50000: %v", err)
+	}
+	if m.Throughput <= 0 {
+		t.Errorf("degenerate throughput %g", m.Throughput)
+	}
+
+	// At a context both fit, int8 KV is never slower per decode batch.
+	c.Context = 8192
+	q8, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KVDType = model.BF16
+	bf, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q8.DecodeService > bf.DecodeService {
+		t.Errorf("int8 KV decode service %.4fs slower than bf16 %.4fs",
+			q8.DecodeService, bf.DecodeService)
+	}
+}

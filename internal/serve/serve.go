@@ -30,6 +30,11 @@ type Tier struct {
 type Config struct {
 	Model   model.Config
 	Weights model.DType
+	// KVDType is the KV-cache storage format on both tiers (BF16 default;
+	// Int8 halves cache bytes and KV memory traffic, which roughly doubles
+	// the context or batch the decode tier can admit — the engine-level
+	// counterpart is engine.Options.Int8KV).
+	KVDType model.DType
 	Prefill Tier
 	Decode  Tier
 	// Context and Gen are per-request token counts.
@@ -71,7 +76,8 @@ type Metrics struct {
 func Analyze(c Config) (Metrics, error) {
 	pre := perf.PrefillExpected(perf.Request{
 		Model: c.Model, System: c.Prefill.System, Weights: c.Weights,
-		FFN: c.Prefill.FFN, Attn: c.Prefill.Attn,
+		KVDType: c.KVDType,
+		FFN:     c.Prefill.FFN, Attn: c.Prefill.Attn,
 		Batch: c.Prefill.Batch, Context: c.Context,
 	}, c.Knobs, c.PrefixHitRate, c.PrefixLen)
 	if !pre.Feasible {
@@ -79,7 +85,8 @@ func Analyze(c Config) (Metrics, error) {
 	}
 	dec := perf.Decode(perf.Request{
 		Model: c.Model, System: c.Decode.System, Weights: c.Weights,
-		FFN: c.Decode.FFN, Attn: c.Decode.Attn,
+		KVDType: c.KVDType,
+		FFN:     c.Decode.FFN, Attn: c.Decode.Attn,
 		Batch: c.Decode.Batch, Context: c.Context, Gen: c.Gen,
 	}, c.Knobs)
 	if !dec.Feasible {
