@@ -452,6 +452,23 @@ func BenchmarkEngineDecodeStepInt8KV(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineDecodeStepInt8Wire is BenchmarkEngineDecodeStep with the
+// data-plane collectives moving per-chunk int8 payloads
+// (engine.Options.Int8Wire): same model, mesh, layout and bounded-depth
+// harness. Every gather/reshard chunk pays a quantize at the sender and a
+// dequantize at the receiver in exchange for ~0.26x the wire bytes; the
+// simulated mesh charges no time per byte, so unlike real hardware the
+// benchmark can only *lose* the encode/decode compute — expect mild
+// overhead versus the fp32-wire twin, bounded by the gate. allocs/op must
+// stay at the fp32 figure: the int8 scratch comes from the per-chip
+// message pools.
+func BenchmarkEngineDecodeStepInt8Wire(b *testing.B) {
+	benchEngineDecodeStep(b, engine.Options{
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Int8Wire: true,
+	})
+}
+
 func benchEngineDecodeStep(b *testing.B, opts engine.Options) {
 	cfg := model.Config{
 		Name: "bench", Layers: 2, DModel: 64, DFF: 128,

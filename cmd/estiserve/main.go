@@ -34,6 +34,15 @@
 // is printed:
 //
 //	estiserve -model palm540b -int8-kv -context 4096
+//
+// With -int8-wire, both tiers (and the continuous pool) move their
+// activation collectives — the per-layer all-gathers/reduce-scatters and
+// the attention all-to-alls — as per-chunk-scaled int8 instead of the
+// bf16 baseline (engine.Options.Int8Wire functionally), halving exposed
+// communication time; a per-phase comm-time comparison line against the
+// fp32 and bf16 wire formats is printed:
+//
+//	estiserve -model palm540b -int8-wire -decode-batch 8
 package main
 
 import (
@@ -55,6 +64,7 @@ func main() {
 	modelName := flag.String("model", "palm540b", "model: palm8b, palm62b, palm540b, mtnlg530b")
 	weights := flag.String("weights", "int8", "weight format: bf16 or int8")
 	int8KV := flag.Bool("int8-kv", false, "store the KV cache int8 (half the cache bytes; ~2x the servable context per chip)")
+	int8Wire := flag.Bool("int8-wire", false, "move activation collectives as per-chunk int8 (half the bf16 wire bytes; halves exposed comm time)")
 	preChips := flag.Int("prefill-chips", 64, "prefill tier chip count")
 	preBatch := flag.Int("prefill-batch", 1, "prefill tier batch")
 	decChips := flag.Int("decode-chips", 64, "decode tier chip count")
@@ -87,11 +97,16 @@ func main() {
 	if *int8KV {
 		kvDT = model.Int8
 	}
+	wireDT := model.BF16
+	if *int8Wire {
+		wireDT = model.Int8
+	}
 
 	sc := serve.Config{
-		Model:   cfg,
-		Weights: dt,
-		KVDType: kvDT,
+		Model:     cfg,
+		Weights:   dt,
+		KVDType:   kvDT,
+		WireDType: wireDT,
 		Prefill: serve.Tier{
 			System: hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(*preChips)),
 			Batch:  *preBatch,
@@ -122,8 +137,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s, %s weights, %s KV cache — %d-chip prefill (batch %d) → %d-chip decode (batch %d)\n",
-		cfg.Name, dt, kvDT, *preChips, *preBatch, *decChips, *decBatch)
+	fmt.Printf("%s, %s weights, %s KV cache, %s wire — %d-chip prefill (batch %d) → %d-chip decode (batch %d)\n",
+		cfg.Name, dt, kvDT, wireDT, *preChips, *preBatch, *decChips, *decBatch)
+	if *int8Wire {
+		// The wire win in comm-time terms: each tier's exposed
+		// communication with int8 payloads against the bf16 baseline
+		// (the paper's activation format — the 2x claim) and the fp32
+		// wire (the functional engine's exact format).
+		commT := func(tier serve.Tier, context, gen int, wd model.DType) float64 {
+			req := perf.Request{
+				Model: cfg, System: tier.System, Weights: dt, KVDType: kvDT,
+				WireDType: wd, FFN: tier.FFN, Attn: tier.Attn,
+				Batch: tier.Batch, Context: context, Gen: gen,
+			}
+			if gen > 0 {
+				if res := perf.Decode(req, sc.Knobs); res.Feasible {
+					return res.Breakdown.Comm / float64(gen)
+				}
+				return 0
+			}
+			if res := perf.Prefill(req, sc.Knobs); res.Feasible {
+				return res.Breakdown.Comm
+			}
+			return 0
+		}
+		pre8 := commT(sc.Prefill, *context, 0, model.Int8)
+		preBF := commT(sc.Prefill, *context, 0, model.BF16)
+		preFP := commT(sc.Prefill, *context, 0, model.FP32)
+		fmt.Printf("  int8 wire: prefill comm %.1f ms/batch vs %.1f bf16 (%.2fx) / %.1f fp32 (%.2fx)\n",
+			pre8*1000, preBF*1000, ratio(pre8, preBF), preFP*1000, ratio(pre8, preFP))
+		if *gen > 0 {
+			dec8 := commT(sc.Decode, *context, *gen, model.Int8)
+			decBF := commT(sc.Decode, *context, *gen, model.BF16)
+			decFP := commT(sc.Decode, *context, *gen, model.FP32)
+			fmt.Printf("  int8 wire: decode comm %.3f ms/step vs %.3f bf16 (%.2fx) / %.3f fp32 (%.2fx)\n",
+				dec8*1000, decBF*1000, ratio(dec8, decBF), decFP*1000, ratio(dec8, decFP))
+		}
+	}
 	if *int8KV {
 		// The storage win in context terms: Table 1's max-context numbers
 		// for the decode tier, bf16 vs int8 cache under the same budget.
@@ -174,6 +224,7 @@ func main() {
 			Model:        cfg,
 			Weights:      dt,
 			KVDType:      kvDT,
+			WireDType:    wireDT,
 			System:       hardware.NewSystem(hardware.TPUv4(), hardware.BestSlice(totalChips)),
 			FFN:          partition.FFN2DWeightStationary,
 			Attn:         decodeAttn(cfg),
@@ -217,6 +268,13 @@ func main() {
 			}
 		}
 	}
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 func decodeAttn(cfg model.Config) partition.AttnLayout {

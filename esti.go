@@ -84,7 +84,8 @@ type (
 	FFNLayout = partition.FFNLayout
 	// AttnLayout selects an attention partitioning.
 	AttnLayout = partition.AttnLayout
-	// DType is a weight storage format.
+	// DType is a storage/wire element format (weights, KV cache, or
+	// collective payloads).
 	DType = model.DType
 )
 
@@ -99,6 +100,7 @@ const (
 	AttnShardBatch        = partition.AttnShardBatch
 	BF16                  = model.BF16
 	Int8                  = model.Int8
+	FP32                  = model.FP32
 )
 
 // PaLM8B returns the PaLM 8B architecture preset.

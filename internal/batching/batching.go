@@ -176,9 +176,13 @@ type Config struct {
 	// Slots×MaxLen product — the admission budget validate() enforces —
 	// and every decode iteration pays half the KV memory traffic.
 	KVDType model.DType
-	System  hardware.System
-	FFN     partition.FFNLayout
-	Attn    partition.AttnLayout
+	// WireDType is the activation collective payload format (BF16
+	// default; Int8 halves every iteration's exposed communication time —
+	// the engine-level counterpart is engine.Options.Int8Wire).
+	WireDType model.DType
+	System    hardware.System
+	FFN       partition.FFNLayout
+	Attn      partition.AttnLayout
 	// Slots is the number of concurrent sequences (the decode batch when
 	// full).
 	Slots int
@@ -220,8 +224,8 @@ func (c Config) validate() error {
 	// can never run full.
 	probe := perf.Decode(perf.Request{
 		Model: c.Model, System: c.System, Weights: c.Weights,
-		KVDType: c.KVDType,
-		FFN:     c.FFN, Attn: c.Attn,
+		KVDType: c.KVDType, WireDType: c.WireDType,
+		FFN: c.FFN, Attn: c.Attn,
 		Batch: c.Slots, Context: c.MaxLen - 1, Gen: 1,
 	}, c.Knobs)
 	if !probe.Feasible {
@@ -327,8 +331,8 @@ func Simulate(c Config, trace Trace) (Result, error) {
 		}
 		res := perf.Prefill(perf.Request{
 			Model: c.Model, System: c.System, Weights: c.Weights,
-			KVDType: c.KVDType,
-			FFN:     c.FFN, Attn: c.Attn, Batch: 1, Context: ctx, Past: past,
+			KVDType: c.KVDType, WireDType: c.WireDType,
+			FFN: c.FFN, Attn: c.Attn, Batch: 1, Context: ctx, Past: past,
 		}, c.Knobs)
 		prefillMemo[key] = res.Time
 		return res.Time
@@ -344,8 +348,8 @@ func Simulate(c Config, trace Trace) (Result, error) {
 		}
 		res := perf.Decode(perf.Request{
 			Model: c.Model, System: c.System, Weights: c.Weights,
-			KVDType: c.KVDType,
-			FFN:     c.FFN, Attn: c.Attn, Batch: batch, Context: key.ctx, Gen: 1,
+			KVDType: c.KVDType, WireDType: c.WireDType,
+			FFN: c.FFN, Attn: c.Attn, Batch: batch, Context: key.ctx, Gen: 1,
 		}, c.Knobs)
 		stepMemo[key] = res.Time
 		return res.Time

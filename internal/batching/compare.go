@@ -60,14 +60,15 @@ func CompareStatic(c Config, trace Trace) (Comparison, error) {
 
 	half := hardware.NewSystem(c.System.Chip, hardware.BestSlice(n/2))
 	staticCfg := serve.Config{
-		Model:   c.Model,
-		Weights: c.Weights,
-		KVDType: c.KVDType,
-		Prefill: serve.Tier{System: half, Batch: 1, FFN: c.FFN, Attn: c.Attn},
-		Decode:  serve.Tier{System: half, Batch: 64, FFN: c.FFN, Attn: c.Attn},
-		Context: trace.MaxContext(),
-		Gen:     trace.MaxGen(),
-		Knobs:   c.Knobs,
+		Model:     c.Model,
+		Weights:   c.Weights,
+		KVDType:   c.KVDType,
+		WireDType: c.WireDType,
+		Prefill:   serve.Tier{System: half, Batch: 1, FFN: c.FFN, Attn: c.Attn},
+		Decode:    serve.Tier{System: half, Batch: 64, FFN: c.FFN, Attn: c.Attn},
+		Context:   trace.MaxContext(),
+		Gen:       trace.MaxGen(),
+		Knobs:     c.Knobs,
 	}
 	tuned, ok := serve.Tune(staticCfg, math.Inf(1))
 	if ok {

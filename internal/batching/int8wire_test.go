@@ -1,0 +1,49 @@
+package batching
+
+import (
+	"testing"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+)
+
+// WireDType threads through every per-iteration cost the scheduler pays:
+// replaying the same trace with int8 collective payloads can only speed
+// iterations up (admission prefills and decode steps both carry exposed
+// communication), so the makespan shrinks and useful tok/s rises.
+func TestSimulateInt8WireNoSlower(t *testing.T) {
+	base := Config{
+		Model:    model.PaLM540BPadded(),
+		Weights:  model.Int8,
+		System:   hardware.TPUv4Slice(4, 4, 4),
+		FFN:      partition.FFN2DWeightStationary,
+		Attn:     partition.AttnShardBatch,
+		Slots:    64,
+		MaxLen:   2048 + 256,
+		MaxAdmit: 4,
+		Knobs:    perf.DefaultKnobs(),
+	}
+	trace := ChatbotTrace(50, 0.05, 3)
+
+	bf, err := Simulate(base, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8cfg := base
+	q8cfg.WireDType = model.Int8
+	q8, err := Simulate(q8cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q8.Completed != bf.Completed {
+		t.Fatalf("completion mismatch: %d vs %d", q8.Completed, bf.Completed)
+	}
+	if q8.Makespan > bf.Makespan {
+		t.Errorf("int8 wire makespan %.3fs exceeds bf16 %.3fs", q8.Makespan, bf.Makespan)
+	}
+	if q8.GenTokensPerSec < bf.GenTokensPerSec {
+		t.Errorf("int8 wire tok/s %.1f below bf16 %.1f", q8.GenTokensPerSec, bf.GenTokensPerSec)
+	}
+}

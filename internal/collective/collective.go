@@ -3,15 +3,22 @@
 // all-gather, ring reduce-scatter, all-reduce (their composition), and
 // direct all-to-all, each over an arbitrary torus axis group.
 //
-// The ring algorithms transfer exactly the volumes the paper's Appendix A
-// cost model assigns them — D·(K-1)/K per chip — which the tests assert by
-// comparing measured mesh traffic against package commcost.
+// The algorithms are payload-typed: every chunk they move travels in the
+// wire format the Op selects (see Payload) — exact float32 by default, or
+// per-chunk-scaled int8, which shrinks the wire volume the same way §3.3's
+// int8 weights shrink the weight-gather volume. The callers keep float32
+// inputs and outputs either way; only the bytes on the wire change. The
+// ring algorithms transfer exactly the volumes the paper's Appendix A cost
+// model assigns them — D·(K-1)/K per chip in the payload's bytes-per-
+// element — which the tests assert by comparing measured mesh traffic
+// against package commcost for both formats.
 //
 // Buffer ownership: collective results are allocated from the mesh's
 // message pool; a caller that has fully consumed a result may hand it back
 // with Chip.Recycle so a steady-state SPMD loop triggers no allocation,
 // and a caller that retains it simply lets the GC take it. Transit buffers
-// the collectives receive and fold in are recycled internally.
+// the collectives receive and fold in are recycled internally (int8 wire
+// buffers to the int8 pool).
 package collective
 
 import (
@@ -21,25 +28,71 @@ import (
 	"esti/internal/mesh"
 )
 
-// Op is a collective operation context: the chip it runs on and the unique
-// op id that namespaces its message tags, so consecutive collectives on the
-// same chips never confuse their messages even when a fast sender runs a
-// step ahead. Every chip in the group must use the same op id for the same
-// collective call (the SPMD program allocates ids in lockstep); AllReduce
-// consumes two consecutive ids, so callers should advance ids by at least 2.
+// Op is a collective operation context: the chip it runs on, the unique op
+// id that namespaces its message tags, and the wire format its chunks
+// travel in (nil Wire means WireF32). Consecutive collectives on the same
+// chips never confuse their messages even when a fast sender runs a step
+// ahead, provided their ids differ. Every chip in the group must use the
+// same op id for the same collective call (the SPMD program allocates ids
+// in lockstep).
+//
+// Id discipline: a plain collective consumes one id; AllReduce consumes
+// AllReduceIDs consecutive ids (its reduce-scatter and all-gather phases).
+// Callers minting ids advance by the ids actually consumed — Advance is
+// the reservation helper — and the mesh's tag-collision check panics on
+// any overlap a miscounted advance lets through, rather than letting two
+// collectives silently swap chunks.
 type Op struct {
 	Chip *mesh.Chip
 	ID   uint64
+	Wire Payload
 }
 
-func (o Op) tag(step int) uint64 { return o.ID<<20 | uint64(step) }
+// AllReduceIDs is the number of consecutive op ids AllReduce consumes: one
+// for its reduce-scatter phase and one for its all-gather phase. A caller
+// that mints ids for a program containing all-reduces must advance its
+// counter by at least this much per collective slot.
+const AllReduceIDs = 2
+
+// Advance returns a copy of the op with its id advanced by n — the
+// explicit id-reservation helper for composite collectives: AllReduce uses
+// o and o.Advance(1), so the next independent collective must start at
+// o.Advance(AllReduceIDs) or later.
+func (o Op) Advance(n uint64) Op {
+	o.ID += n
+	return o
+}
+
+// opSteps is the per-op tag space: tags are ID<<20 | step, so a single
+// collective may label at most 1<<20 distinct messages per peer.
+const opSteps = 1 << 20
+
+func (o Op) tag(step int) uint64 {
+	if step < 0 || step >= opSteps {
+		panic(fmt.Sprintf("collective: step %d outside the op's %d-message tag space", step, opSteps))
+	}
+	return o.ID<<20 | uint64(step)
+}
+
+// wire returns the op's payload format, defaulting to exact float32.
+func (o Op) wire() Payload {
+	if o.Wire == nil {
+		return WireF32
+	}
+	return o.Wire
+}
 
 // AllGather concatenates each group member's shard in group-rank order and
 // returns the full buffer, using a bidirectional-free simple ring: K-1
 // steps, each chip forwarding the newest chunk to its ring successor.
-// Per-chip traffic: shardLen·(K-1) elements = D·(K-1)/K for output size D.
+// Per-chip traffic: K-1 chunk transmissions = D·(K-1)/K for output size D,
+// in the op's wire format. Received chunks are decoded into the output and
+// relayed in wire form untouched, so an int8 chunk is quantized exactly
+// once at its source chip however many hops it travels; the local shard is
+// copied in exact.
 func AllGather(o Op, g hardware.AxisGroup, shard []float32) []float32 {
 	c := o.Chip
+	w := o.wire()
 	rank, size := c.GroupRank(g)
 	if size == 1 {
 		out := make([]float32, len(shard))
@@ -51,23 +104,19 @@ func AllGather(o Op, g hardware.AxisGroup, shard []float32) []float32 {
 	copy(out[rank*chunkLen:(rank+1)*chunkLen], shard)
 	next := c.GroupPeer(g, (rank+1)%size)
 	prev := c.GroupPeer(g, (rank-1+size)%size)
-	cur := shard
+	var tr transit
 	for s := 0; s < size-1; s++ {
 		if s == 0 {
-			c.Send(next, o.tag(s), cur) // the caller keeps its shard
+			w.send(c, next, o.tag(s), shard) // the caller keeps its shard
 		} else {
-			// Relay the buffer received last step without a copy: its
-			// contents are already folded into out.
-			c.SendOwned(next, o.tag(s), cur)
-		}
-		cur = c.Recv(prev, o.tag(s))
-		if len(cur) != chunkLen {
-			panic(fmt.Sprintf("collective: all-gather chunk %d != %d", len(cur), chunkLen))
+			// Relay the chunk received last step without re-encoding: its
+			// contents are already decoded into out.
+			w.relay(c, next, o.tag(s), tr)
 		}
 		idx := (rank - s - 1 + 2*size) % size
-		copy(out[idx*chunkLen:(idx+1)*chunkLen], cur)
+		tr = w.recvInto(c, prev, o.tag(s), out[idx*chunkLen:(idx+1)*chunkLen])
 	}
-	c.Recycle(cur)
+	w.drop(c, tr)
 	return out
 }
 
@@ -80,6 +129,7 @@ func AllGather(o Op, g hardware.AxisGroup, shard []float32) []float32 {
 // AllGather; only the step count (and hence fixed latency) differs.
 func AllGatherBidirectional(o Op, g hardware.AxisGroup, shard []float32) []float32 {
 	c := o.Chip
+	w := o.wire()
 	rank, size := c.GroupRank(g)
 	if size == 1 {
 		out := make([]float32, len(shard))
@@ -91,41 +141,35 @@ func AllGatherBidirectional(o Op, g hardware.AxisGroup, shard []float32) []float
 	copy(out[rank*chunkLen:(rank+1)*chunkLen], shard)
 	next := c.GroupPeer(g, (rank+1)%size)
 	prev := c.GroupPeer(g, (rank-1+size)%size)
-	fwd := shard // chunk moving in +1 direction (received from prev)
-	bwd := shard // chunk moving in -1 direction (received from next)
+	var fwd, bwd transit
 	// The forward lane delivers chunks rank-1-s, the backward lane chunks
 	// rank+1+s; together they cover all K-1 remote chunks in
 	// ceil((K-1)/2) steps, the backward lane idling on the last step when
-	// K-1 is odd. As in AllGather, relayed chunks are handed off without
-	// a copy once their contents are folded into out.
+	// K-1 is odd. As in AllGather, relayed chunks are handed off in wire
+	// form once their contents are decoded into out.
 	for s := 0; s < fwdSteps(size); s++ {
 		backActive := s < bwdSteps(size)
 		if s == 0 {
-			c.Send(next, o.tag(2*s), fwd)
+			w.send(c, next, o.tag(2*s), shard)
 			if backActive {
-				c.Send(prev, o.tag(2*s+1), bwd)
+				w.send(c, prev, o.tag(2*s+1), shard)
 			}
 		} else {
-			c.SendOwned(next, o.tag(2*s), fwd)
+			w.relay(c, next, o.tag(2*s), fwd)
 			if backActive {
-				c.SendOwned(prev, o.tag(2*s+1), bwd)
+				w.relay(c, prev, o.tag(2*s+1), bwd)
 			}
 		}
-		fwd = c.Recv(prev, o.tag(2*s))
-		if len(fwd) != chunkLen {
-			panic("collective: bidirectional all-gather chunk size mismatch")
-		}
 		idx := (rank - s - 1 + 2*size) % size
-		copy(out[idx*chunkLen:(idx+1)*chunkLen], fwd)
+		fwd = w.recvInto(c, prev, o.tag(2*s), out[idx*chunkLen:(idx+1)*chunkLen])
 		if backActive {
-			bwd = c.Recv(next, o.tag(2*s+1))
 			idx = (rank + s + 1) % size
-			copy(out[idx*chunkLen:(idx+1)*chunkLen], bwd)
+			bwd = w.recvInto(c, next, o.tag(2*s+1), out[idx*chunkLen:(idx+1)*chunkLen])
 		}
 	}
-	c.Recycle(fwd)
+	w.drop(c, fwd)
 	if bwdSteps(size) > 0 {
-		c.Recycle(bwd)
+		w.drop(c, bwd)
 	}
 	return out
 }
@@ -137,10 +181,15 @@ func bwdSteps(size int) int { return (size - 1) / 2 }
 
 // ReduceScatter sums `full` elementwise across the group and returns this
 // chip's shard (group-rank-indexed chunk of the sum). len(full) must divide
-// evenly by the group size. Per-chip traffic: chunk·(K-1) = D·(K-1)/K for
-// input size D.
+// evenly by the group size. Per-chip traffic: K-1 chunk transmissions =
+// D·(K-1)/K for input size D, in the op's wire format. The running partial
+// sum is held and folded in float32 on every chip; a lossy wire format
+// re-encodes the partial fresh at each hop (one quantization of the
+// running sum per hop, K-1 total), which is what keeps int8 reduction
+// error bounded instead of compounding through stale scales.
 func ReduceScatter(o Op, g hardware.AxisGroup, full []float32) []float32 {
 	c := o.Chip
+	w := o.wire()
 	rank, size := c.GroupRank(g)
 	if size == 1 {
 		out := make([]float32, len(full))
@@ -158,18 +207,9 @@ func ReduceScatter(o Op, g hardware.AxisGroup, full []float32) []float32 {
 	prev := c.GroupPeer(g, (rank-1+size)%size)
 	for s := 0; s < size-1; s++ {
 		sendIdx := (rank - 1 - s + 2*size) % size
-		c.Send(next, o.tag(s), chunk(acc, sendIdx))
+		w.send(c, next, o.tag(s), chunk(acc, sendIdx))
 		recvIdx := (rank - 2 - s + 3*size) % size
-		in := c.Recv(prev, o.tag(s))
-		if len(in) != chunkLen {
-			panic(fmt.Sprintf("collective: reduce-scatter chunk %d != %d", len(in), chunkLen))
-		}
-		dst := chunk(acc, recvIdx)
-		in = in[:len(dst)]
-		for i, v := range in {
-			dst[i] += v
-		}
-		c.Recycle(in)
+		w.recvAdd(c, prev, o.tag(s), chunk(acc, recvIdx))
 	}
 	out := c.Buffer(chunkLen)
 	copy(out, chunk(acc, rank))
@@ -178,22 +218,22 @@ func ReduceScatter(o Op, g hardware.AxisGroup, full []float32) []float32 {
 }
 
 // AllReduce composes ReduceScatter and AllGather (the paper's preferred
-// decomposition, after Rajbhandari et al. 2020). Each phase gets its own tag
-// space via the step offset.
+// decomposition, after Rajbhandari et al. 2020), consuming AllReduceIDs
+// consecutive op ids — one per phase — via Advance.
 func AllReduce(o Op, g hardware.AxisGroup, full []float32) []float32 {
 	shard := ReduceScatter(o, g, full)
-	o2 := Op{Chip: o.Chip, ID: o.ID + 1}
-	out := AllGather(o2, g, shard)
+	out := AllGather(o.Advance(1), g, shard)
 	o.Chip.Recycle(shard) // AllGather copied it into out
 	return out
 }
 
 // AllToAll sends shards[i] to group member i and returns the received
-// shards in group-rank order (own shard passed through). Transfers are
-// direct pairwise messages, matching the collective's use for resharding in
-// Figure 5(b).
+// shards in group-rank order (own shard passed through exact). Transfers
+// are direct pairwise messages in the op's wire format, matching the
+// collective's use for resharding in Figure 5(b).
 func AllToAll(o Op, g hardware.AxisGroup, shards [][]float32) [][]float32 {
 	c := o.Chip
+	w := o.wire()
 	rank, size := c.GroupRank(g)
 	if len(shards) != size {
 		panic(fmt.Sprintf("collective: all-to-all %d shards for group of %d", len(shards), size))
@@ -206,13 +246,13 @@ func AllToAll(o Op, g hardware.AxisGroup, shards [][]float32) [][]float32 {
 		if i == rank {
 			continue
 		}
-		c.Send(c.GroupPeer(g, i), o.tag(i), shards[i])
+		w.send(c, c.GroupPeer(g, i), o.tag(i), shards[i])
 	}
 	for i := 0; i < size; i++ {
 		if i == rank {
 			continue
 		}
-		out[i] = c.Recv(c.GroupPeer(g, i), o.tag(rank))
+		out[i] = w.recvTake(c, c.GroupPeer(g, i), o.tag(rank))
 	}
 	return out
 }

@@ -1,0 +1,165 @@
+package collective
+
+import (
+	"math"
+
+	"esti/internal/mesh"
+	"esti/internal/quant"
+)
+
+// Payload is the wire format a collective's chunks travel in. The
+// algorithms in this package are written once against this interface and
+// stay format-agnostic: every chunk a collective moves is encoded by the
+// op's payload on send, decoded (or folded) on receive, and relayed in
+// transit form without re-encoding. Two formats ship today —
+//
+//	WireF32:  4 bytes per element, exact (the default).
+//	WireInt8: 1 byte per element plus one float32 scale per transmitted
+//	          chunk (symmetric per-chunk quantization via package quant),
+//	          the paper's §3.3 insight — charge collectives by bytes, then
+//	          shrink the bytes — applied to activations on the wire.
+//
+// A future fp16 or block-quantized format is one more implementation of
+// this interface; nothing in the ring algorithms changes. Implementations
+// must be stateless values (they are copied inside Op on every collective
+// call of a steady-state decode step) and draw all scratch from the chip's
+// message pools so the hot path stays allocation-free.
+//
+// Accuracy contract of WireInt8: a gathered chunk is quantized exactly
+// once, at its source chip, and relayed raw — error per element is bounded
+// by half a quantization step (0.5/127 of the chunk's max magnitude)
+// regardless of ring length. Reducing collectives (ReduceScatter,
+// AllReduce) fold in float32 and re-quantize the running partial sum once
+// per hop, so a K-chip reduction accumulates at most K-1 half-steps of its
+// running magnitude. NaN/Inf inputs are clamped at encode time
+// (quant.QuantizeRowInto), so scales are always finite-positive and a
+// poisoned activation cannot NaN the fabric.
+type Payload interface {
+	// send encodes data and delivers it to dst (copy semantics: the
+	// caller keeps data).
+	send(c *mesh.Chip, dst int, tag uint64, data []float32)
+	// recvInto receives the (src, tag) message, decodes it into dst, and
+	// returns the chunk in transit form for a later relay or drop.
+	recvInto(c *mesh.Chip, src int, tag uint64, dst []float32) transit
+	// relay forwards a received chunk unchanged (ownership transfers).
+	relay(c *mesh.Chip, dst int, tag uint64, t transit)
+	// drop recycles a received chunk that will not be relayed.
+	drop(c *mesh.Chip, t transit)
+	// recvAdd receives the (src, tag) message and accumulates its decoded
+	// values into dst (the reduction fold), recycling the wire buffer.
+	recvAdd(c *mesh.Chip, src int, tag uint64, dst []float32)
+	// recvTake receives the (src, tag) message and returns its decoded
+	// values in a pool-owned float32 buffer the caller may Recycle.
+	recvTake(c *mesh.Chip, src int, tag uint64) []float32
+}
+
+// WireF32 is the exact float32 wire format, the zero-cost default: sends
+// copy into pooled buffers, receives hand the delivered buffer straight to
+// the consumer.
+var WireF32 Payload = f32Payload{}
+
+// WireInt8 is the per-chunk-scaled int8 wire format: one byte per element
+// plus a 4-byte scale per chunk, quartering activation collective volume
+// versus float32 (halving it versus the analytic model's bf16 baseline).
+var WireInt8 Payload = int8Payload{}
+
+// transit is a received chunk in wire form, held between the receive that
+// folded it into the output and the send that relays it onward.
+type transit struct {
+	f     []float32
+	q     []int8
+	scale float32
+}
+
+type f32Payload struct{}
+
+func (f32Payload) send(c *mesh.Chip, dst int, tag uint64, data []float32) {
+	c.Send(dst, tag, data)
+}
+
+func (f32Payload) recvInto(c *mesh.Chip, src int, tag uint64, dst []float32) transit {
+	buf := c.Recv(src, tag)
+	if len(buf) != len(dst) {
+		panic("collective: chunk size mismatch")
+	}
+	copy(dst, buf)
+	return transit{f: buf}
+}
+
+func (f32Payload) relay(c *mesh.Chip, dst int, tag uint64, t transit) {
+	c.SendOwned(dst, tag, t.f)
+}
+
+func (f32Payload) drop(c *mesh.Chip, t transit) {
+	c.Recycle(t.f)
+}
+
+func (f32Payload) recvAdd(c *mesh.Chip, src int, tag uint64, dst []float32) {
+	in := c.Recv(src, tag)
+	if len(in) != len(dst) {
+		panic("collective: chunk size mismatch")
+	}
+	in = in[:len(dst)]
+	for i, v := range in {
+		dst[i] += v
+	}
+	c.Recycle(in)
+}
+
+func (f32Payload) recvTake(c *mesh.Chip, src int, tag uint64) []float32 {
+	return c.Recv(src, tag)
+}
+
+type int8Payload struct{}
+
+func (int8Payload) send(c *mesh.Chip, dst int, tag uint64, data []float32) {
+	q := c.Buffer8(len(data))
+	scale := quant.QuantizeRowInto(q, data)
+	c.SendOwned8(dst, tag, q, scale)
+}
+
+func (int8Payload) recvInto(c *mesh.Chip, src int, tag uint64, dst []float32) transit {
+	q, scale := c.Recv8(src, tag)
+	if len(q) != len(dst) {
+		panic("collective: chunk size mismatch")
+	}
+	quant.DequantizeRowInto(dst, q, scale)
+	return transit{q: q, scale: scale}
+}
+
+func (int8Payload) relay(c *mesh.Chip, dst int, tag uint64, t transit) {
+	c.SendOwned8(dst, tag, t.q, t.scale)
+}
+
+func (int8Payload) drop(c *mesh.Chip, t transit) {
+	c.Recycle8(t.q)
+}
+
+func (int8Payload) recvAdd(c *mesh.Chip, src int, tag uint64, dst []float32) {
+	q, scale := c.Recv8(src, tag)
+	if len(q) != len(dst) {
+		panic("collective: chunk size mismatch")
+	}
+	quant.AxpyF32I8(dst, scale, q)
+	c.Recycle8(q)
+}
+
+func (int8Payload) recvTake(c *mesh.Chip, src int, tag uint64) []float32 {
+	q, scale := c.Recv8(src, tag)
+	out := c.Buffer(len(q))
+	quant.DequantizeRowInto(out, q, scale)
+	c.Recycle8(q)
+	return out
+}
+
+// Int8WireError bounds the absolute per-element error WireInt8 introduces
+// into a non-reducing collective (all-gather, all-to-all) for a chunk whose
+// maximum magnitude is maxAbs: half a quantization step. Reducing
+// collectives over K chips accumulate at most K-1 of these on the running
+// partial-sum magnitude. Exported for tests and callers sizing tolerances.
+func Int8WireError(maxAbs float64) float64 {
+	if math.IsNaN(maxAbs) {
+		return 0
+	}
+	return maxAbs / 127 / 2
+}

@@ -11,6 +11,12 @@
 // Reduce-scatter is symmetric with D the (larger) per-chip input;
 // all-reduce is the composition of the two. This holds for most real
 // topologies (Chan et al. 2007), not just tori.
+//
+// The model charges by bytes, not elements — which is exactly why wire
+// dtype is a latency lever: the *WireVolume forms parameterize every
+// collective by a WireFormat (float32, bf16, or per-chunk-scaled int8),
+// and the int8 format's volumes are what the typed collectives in package
+// collective measurably move.
 package commcost
 
 import (
@@ -19,6 +25,77 @@ import (
 	"esti/internal/hardware"
 	"esti/internal/partition"
 )
+
+// WireFormat parameterizes collective volumes by the payload's on-wire
+// encoding: bytes per element plus a fixed overhead per transmitted chunk
+// (the per-chunk quantization scale of the int8 format; zero for plain
+// floats). The classic Appendix A forms below (AllGatherVolume etc.) take
+// pre-multiplied byte counts and remain exact for zero-overhead formats;
+// the *WireVolume forms take element counts and a WireFormat and are exact
+// for every format, chunk overheads included — they predict the mesh's
+// measured byte counters to the byte, which the collective and engine
+// tests assert for both float32 and int8 payloads.
+type WireFormat struct {
+	// ElemBytes is the wire size of one element.
+	ElemBytes float64
+	// ChunkOverhead is the fixed wire bytes added to every transmitted
+	// chunk (message), independent of its element count.
+	ChunkOverhead float64
+}
+
+// The wire formats in use: the functional engine's exact float32, the
+// analytic model's bf16 activation baseline, and per-chunk-scaled int8
+// (one byte per element plus a 4-byte float32 scale per chunk).
+var (
+	WireFP32 = WireFormat{ElemBytes: 4}
+	WireBF16 = WireFormat{ElemBytes: 2}
+	WireInt8 = WireFormat{ElemBytes: 1, ChunkOverhead: 4}
+)
+
+// Chunk is the wire bytes of one transmitted chunk of `elems` elements.
+func (w WireFormat) Chunk(elems float64) float64 {
+	return elems*w.ElemBytes + w.ChunkOverhead
+}
+
+// AllGatherWireVolume is the exact per-chip wire bytes of the ring
+// all-gather over k chips with shardElems elements per member: k-1 chunk
+// transmissions per chip, each of shardElems elements.
+func AllGatherWireVolume(shardElems float64, k int, w WireFormat) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return float64(k-1) * w.Chunk(shardElems)
+}
+
+// ReduceScatterWireVolume is the exact per-chip wire bytes of the ring
+// reduce-scatter over k chips with inElems elements of per-chip input: k-1
+// transmissions of inElems/k-element chunks.
+func ReduceScatterWireVolume(inElems float64, k int, w WireFormat) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return float64(k-1) * w.Chunk(inElems/float64(k))
+}
+
+// AllReduceWireVolume composes the reduce-scatter and all-gather phases
+// over the same elems-element buffer: 2·(k-1) chunks of elems/k elements.
+func AllReduceWireVolume(elems float64, k int, w WireFormat) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return ReduceScatterWireVolume(elems, k, w) + AllGatherWireVolume(elems/float64(k), k, w)
+}
+
+// AllToAllWireVolume is the exact per-chip wire bytes of the direct
+// all-to-all resharding a perChipElems-element buffer across k chips: k-1
+// pairwise messages of perChipElems/k elements (the own shard stays
+// local).
+func AllToAllWireVolume(perChipElems float64, k int, w WireFormat) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return float64(k-1) * w.Chunk(perChipElems/float64(k))
+}
 
 // frac returns the (K-1)/K efficiency factor, 0 for K <= 1 (a collective
 // over one chip moves no bytes).

@@ -233,3 +233,44 @@ func TestFFNLayerCommPanicsOnUnknownLayout(t *testing.T) {
 	p := partition.FFNPlan{Layout: partition.FFNLayout(42), Torus: torus444()}
 	FFNLayerComm(p, 1, 1, 1, 2, 0)
 }
+
+// The wire-format forms are exact per-chunk accountings: they reduce to
+// the classic (K-1)/K volumes for zero-overhead formats and add exactly
+// one chunk overhead per transmission for int8.
+func TestWireVolumesReduceToClassicForms(t *testing.T) {
+	const elems, k = 96, 8
+	// fp32, zero overhead: element form × 4 B == byte form.
+	if got, want := AllGatherWireVolume(elems, k, WireFP32), AllGatherVolume(4*elems*k, k); got != want {
+		t.Errorf("fp32 all-gather %g != classic %g", got, want)
+	}
+	if got, want := ReduceScatterWireVolume(elems*k, k, WireFP32), ReduceScatterVolume(4*elems*k, k); got != want {
+		t.Errorf("fp32 reduce-scatter %g != classic %g", got, want)
+	}
+	if got, want := AllReduceWireVolume(elems*k, k, WireFP32), AllReduceVolume(4*elems*k, k); got != want {
+		t.Errorf("fp32 all-reduce %g != classic %g", got, want)
+	}
+	if got, want := AllToAllWireVolume(elems*k, k, WireFP32), AllToAllVolume(4*elems*k, k); got != want {
+		t.Errorf("fp32 all-to-all %g != classic %g", got, want)
+	}
+	// int8: (k-1) chunks, each elems + 4 B of scale.
+	if got, want := AllGatherWireVolume(elems, k, WireInt8), float64((k-1)*(elems+4)); got != want {
+		t.Errorf("int8 all-gather %g != %g", got, want)
+	}
+	if got, want := AllToAllWireVolume(elems*k, k, WireInt8), float64((k-1)*(elems+4)); got != want {
+		t.Errorf("int8 all-to-all %g != %g", got, want)
+	}
+	// One chip: free in every format.
+	for _, w := range []WireFormat{WireFP32, WireBF16, WireInt8} {
+		if AllGatherWireVolume(elems, 1, w)+ReduceScatterWireVolume(elems, 1, w)+
+			AllReduceWireVolume(elems, 1, w)+AllToAllWireVolume(elems, 1, w) != 0 {
+			t.Errorf("single-chip collectives not free in %+v", w)
+		}
+	}
+	// Int8 is at most 0.55x fp32 whenever chunks carry ≥9 elements
+	// (scale amortized); at the engine's activation sizes it is ~0.26x.
+	fp := AllGatherWireVolume(elems, k, WireFP32)
+	q8 := AllGatherWireVolume(elems, k, WireInt8)
+	if q8 > 0.55*fp {
+		t.Errorf("int8 all-gather %g not <= 0.55x fp32 %g", q8, fp)
+	}
+}

@@ -48,6 +48,14 @@
 // attention projections are not fused into the FFN matmuls — fusion is a
 // throughput optimization with identical numerics, and keeping them separate
 // keeps each layout legible.
+//
+// Storage and wire formats are per-session options, each independently
+// togglable on every layout: Int8Weights (quantized projections), Int8KV
+// (quantized KV cache), and Int8Wire (quantized collective payloads — the
+// engine's data-plane all-gathers, reduce-scatters, all-to-alls and
+// weight-gather staging move per-chunk-scaled int8 via the payload-typed
+// collectives, at ~0.26x the float32 wire bytes, while the per-token norm
+// all-reduces stay exact).
 package engine
 
 import (
@@ -81,6 +89,21 @@ type Options struct {
 	// resharding all-to-alls and all other wire traffic are unchanged
 	// (quantization happens at the cache boundary on each chip).
 	Int8KV bool
+	// Int8Wire moves the data-plane collective payloads — the activation
+	// all-gathers and reduce-scatters (agCols/rsCols), the attention
+	// resharding all-to-alls, and the weight-gathered layout's per-layer
+	// weight staging — as per-chunk-scaled int8 instead of float32
+	// (collective.WireInt8): 1 byte per element plus one scale per chunk,
+	// ≤0.55× the fp32 wire bytes, the §3.3 move-int8-not-float insight
+	// applied to what's *on the wire* rather than what's at rest. The
+	// tiny per-token RMS-norm all-reduces stay float32: their volume is
+	// negligible (one float per token versus E-wide activations) and
+	// their result scales every activation, so quantizing them buys
+	// nothing and risks everything. Orthogonal to Int8Weights/Int8KV and
+	// valid on every layout; quantize/dequantize scratch comes from the
+	// per-chip message pools, so steady-state decode stays
+	// allocation-free.
+	Int8Wire bool
 }
 
 // weight is a matrix in either float or int8 form.
@@ -150,6 +173,9 @@ type chipState struct {
 	// EnablePrefixCache).
 	prefix *kvcache.PrefixStore
 	opID   uint64
+	// wire is the payload format the data-plane collectives travel in
+	// (nil = float32; collective.WireInt8 under Options.Int8Wire).
+	wire collective.Payload
 	// wg carries the weight-gathered path's state (nil otherwise).
 	wg *wgState
 
@@ -251,6 +277,9 @@ func New(w *reference.Weights, t hardware.Torus, opts Options, batch, maxLen int
 	for r := 0; r < n; r++ {
 		e.chips[r] = e.buildChip(w, r)
 		e.chips[r].scr.Reserve(maxLen)
+		if opts.Int8Wire {
+			e.chips[r].wire = collective.WireInt8
+		}
 	}
 	e.runFwd = e.chipForward
 	return e, nil
@@ -284,6 +313,10 @@ func (e *Engine) ChipCacheBytes(rank int) int { return e.chips[rank].cache.Bytes
 
 // Int8KV reports whether the session stores its KV cache quantized.
 func (e *Engine) Int8KV() bool { return e.opts.Int8KV }
+
+// Int8Wire reports whether the session's data-plane collectives move
+// int8 payloads.
+func (e *Engine) Int8Wire() bool { return e.opts.Int8Wire }
 
 // Batch returns the session batch size.
 func (e *Engine) Batch() int { return e.batch }
@@ -443,11 +476,15 @@ func sliceGain(g []float32, lo, n int) []float32 {
 	return out
 }
 
-// op mints a fresh collective op id (same sequence on every chip because the
-// program is SPMD-deterministic).
+// op mints a fresh collective op context (same id sequence on every chip
+// because the program is SPMD-deterministic) carrying the session's wire
+// format. Each slot reserves collective.AllReduceIDs consecutive ids —
+// the widest consumer (shardNorm's all-reduce) needs both, and plain
+// collectives simply leave the second unused; the mesh's tag-collision
+// check would catch any miscounted reservation.
 func (st *chipState) op(c *mesh.Chip) collective.Op {
-	o := collective.Op{Chip: c, ID: st.opID}
-	st.opID += 2
+	o := collective.Op{Chip: c, ID: st.opID, Wire: st.wire}
+	st.opID += collective.AllReduceIDs
 	return o
 }
 
@@ -502,8 +539,12 @@ func rsCols(ar *tensor.Arena, o collective.Op, g hardware.AxisGroup, m *tensor.M
 // minted (ids stay in lockstep); a group of one skips the zero-byte
 // all-reduce itself.
 func shardNorm(c *mesh.Chip, st *chipState, x *tensor.Mat, gain []float32, eTotal int) *tensor.Mat {
-	// op() advances the id by 2, exactly the two ids AllReduce consumes.
+	// op() reserves collective.AllReduceIDs ids — exactly what the
+	// all-reduce below consumes. The reduction runs float32 even under
+	// Int8Wire: one float per token is noise next to the E-wide
+	// activation collectives, and its result normalizes every channel.
 	op := st.op(c)
+	op.Wire = nil
 	_, groupSize := c.GroupRank(hardware.GroupXYZ)
 	padded := (x.Rows + groupSize - 1) / groupSize * groupSize
 	sumsq := st.arena.Floats(padded)

@@ -14,9 +14,12 @@ import (
 )
 
 // Prefill processes `steps` new tokens per sequence (sequence-major) across
-// the mesh and returns the full logits [batch·steps, vocab] (identical on
-// every chip; chip 0's copy is returned). The returned matrix is owned by
-// the caller.
+// the mesh and returns the full logits [batch·steps, vocab]. Chip 0's copy
+// is returned and is authoritative: under fp32 wire every chip gathers
+// identical logits, but under Int8Wire each chip holds its own vocab shard
+// exact and the others' dequantized, so per-chip copies may differ within
+// the quantization bound — consumers must not argmax chip-local logits
+// independently. The returned matrix is owned by the caller.
 func (e *Engine) Prefill(tokens []int, steps int) *tensor.Mat {
 	if len(tokens) != e.batch*steps {
 		panic(fmt.Sprintf("engine: %d tokens for batch %d × steps %d", len(tokens), e.batch, steps))

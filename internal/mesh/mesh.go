@@ -1,8 +1,17 @@
 // Package mesh simulates a slice of accelerator chips on a 3D torus: one
-// goroutine per chip, point-to-point float32 messages between chips, and
-// per-chip traffic accounting. The collective algorithms in package
-// collective run on top of it, and the sharded engine in package engine runs
-// an SPMD program on every chip.
+// goroutine per chip, point-to-point typed messages between chips, and
+// byte-accurate per-chip traffic accounting. The collective algorithms in
+// package collective run on top of it, and the sharded engine in package
+// engine runs an SPMD program on every chip.
+//
+// Messages carry either a float32 payload (4 bytes per element on the
+// wire) or a per-chunk-scaled int8 payload (1 byte per element plus one
+// 4-byte float32 scale per message) — the wire format package collective's
+// int8 payload mode transmits, per the paper's Appendix A charging
+// collectives by bytes rather than elements. Each format has its own send
+// and receive calls and its own recycled buffer pool; the traffic counters
+// record the true wire bytes of whichever format moved, split per dtype so
+// tests can assert exact volumes against package commcost for both.
 //
 // The fabric is deliberately faithful to the paper's cost model: all traffic
 // is explicit messages whose byte counts the tests compare against the
@@ -21,12 +30,18 @@ type Coord struct {
 	X, Y, Z int
 }
 
-// Message is a tagged float32 payload between two chips. Tags disambiguate
-// interleaved collectives when a fast sender runs ahead of its receiver.
+// Message is a tagged payload between two chips in exactly one of the two
+// wire formats: float32 (Data) or per-chunk-scaled int8 (Data8 + Scale).
+// Tags disambiguate interleaved collectives when a fast sender runs ahead
+// of its receiver.
 type Message struct {
 	Src  int
 	Tag  uint64
 	Data []float32
+	// Data8 is the int8 payload (value ≈ int8 · Scale); Scale travels with
+	// the chunk and is charged as 4 wire bytes.
+	Data8 []int8
+	Scale float32
 }
 
 // Mesh is the simulated slice.
@@ -86,14 +101,27 @@ func (m *Mesh) coordOf(rank int) Coord {
 	}
 }
 
-// BytesSent is the total payload volume sent by all chips (4 bytes per
-// float32 element). Counters are accumulated per chip without atomics —
-// each is written only by its chip's goroutine — so reading them is only
-// meaningful outside Run (which is when the tests and experiments do).
+// BytesSent is the total true wire volume sent by all chips: 4 bytes per
+// float32 element, and 1 byte per int8 element plus 4 per chunk scale.
+// Counters are accumulated per chip without atomics — each is written only
+// by its chip's goroutine — so reading them is only meaningful outside Run
+// (which is when the tests and experiments do).
 func (m *Mesh) BytesSent() int64 {
 	var total int64
 	for _, c := range m.chips {
 		total += c.bytesSent
+	}
+	return total
+}
+
+// Int8BytesSent is the portion of BytesSent carried by int8 messages
+// (payload bytes plus their chunk scales). Same read contract as
+// BytesSent. BytesSent-Int8BytesSent is therefore the float32 portion,
+// which lets tests pin exactly which collectives switched wire format.
+func (m *Mesh) Int8BytesSent() int64 {
+	var total int64
+	for _, c := range m.chips {
+		total += c.bytesSent8
 	}
 	return total
 }
@@ -112,6 +140,7 @@ func (m *Mesh) MessagesSent() int64 {
 func (m *Mesh) ResetCounters() {
 	for _, c := range m.chips {
 		c.bytesSent = 0
+		c.bytesSent8 = 0
 		c.msgsSent = 0
 	}
 }
@@ -165,9 +194,10 @@ type Chip struct {
 	Rank  int
 	Coord Coord
 
-	inbox     inbox
-	bytesSent int64 // written only by this chip's goroutine
-	msgsSent  int64
+	inbox      inbox
+	bytesSent  int64 // true wire bytes, all formats (chip-goroutine only)
+	bytesSent8 int64 // int8 portion of bytesSent
+	msgsSent   int64
 
 	// Message buffer free lists, bucketed by power-of-two capacity. An
 	// SPMD step sends the same message sizes every iteration, so
@@ -176,8 +206,11 @@ type Chip struct {
 	// touched only by its own goroutine (Send draws from the sender,
 	// Recycle returns to the consumer), so no lock is needed; buffers
 	// migrate between chips and that's fine. Best-effort: buffers that
-	// are never recycled are simply collected.
-	pool [31][][]float32
+	// are never recycled are simply collected. pool8 is the int8 twin:
+	// quantized payloads and the collectives' encode scratch draw from it
+	// so int8-wire steady-state traffic is allocation-free too.
+	pool  [31][][]float32
+	pool8 [31][][]int8
 
 	// groups caches per-group ranks and peer tables (groupInfoFor).
 	groups []groupInfo
@@ -186,8 +219,11 @@ type Chip struct {
 // Mesh returns the owning mesh.
 func (c *Chip) Mesh() *Mesh { return c.mesh }
 
-// BytesSent is this chip's total sent payload bytes (read outside Run).
+// BytesSent is this chip's total sent wire bytes (read outside Run).
 func (c *Chip) BytesSent() int64 { return c.bytesSent }
+
+// Int8BytesSent is the int8-message portion of this chip's BytesSent.
+func (c *Chip) Int8BytesSent() int64 { return c.bytesSent8 }
 
 // Buffer returns a reusable scratch buffer of length n from this chip's
 // message pool. Collectives allocate their results from it so receivers
@@ -224,6 +260,37 @@ func (c *Chip) Recycle(buf []float32) {
 	c.pool[b] = append(c.pool[b], buf[:0])
 }
 
+// Buffer8 is Buffer for int8 payloads: a reusable length-n scratch from
+// this chip's int8 pool, used by the collectives to quantize chunks before
+// transmission and recycled by receivers after dequantization.
+func (c *Chip) Buffer8(n int) []int8 {
+	if n == 0 {
+		return nil
+	}
+	b := poolBucket(n)
+	free := c.pool8[b]
+	if len(free) > 0 {
+		buf := free[len(free)-1]
+		c.pool8[b] = free[:len(free)-1]
+		return buf[:n]
+	}
+	return make([]int8, n, 1<<b)
+}
+
+// Recycle8 returns an int8 buffer obtained from Recv8 or Buffer8 to this
+// chip's pool, under the same contract as Recycle.
+func (c *Chip) Recycle8(buf []int8) {
+	n := cap(buf)
+	if n == 0 {
+		return
+	}
+	b := poolBucket(n)
+	if 1<<b > n {
+		b--
+	}
+	c.pool8[b] = append(c.pool8[b], buf[:0])
+}
+
 // Send delivers data to dst with a tag. The payload is copied (into a
 // pooled buffer), so senders may reuse their buffer.
 func (c *Chip) Send(dst int, tag uint64, data []float32) {
@@ -254,9 +321,56 @@ func (c *Chip) deliver(dst int, tag uint64, payload []float32) {
 	c.mesh.chips[dst].inbox.put(Message{Src: c.Rank, Tag: tag, Data: payload})
 }
 
-// Recv blocks until a message with the given source and tag arrives.
+// Send8 delivers a per-chunk-scaled int8 payload to dst with a tag, copying
+// data into a pooled buffer like Send. On-wire accounting is byte-accurate:
+// one byte per element plus four for the chunk scale.
+func (c *Chip) Send8(dst int, tag uint64, data []int8, scale float32) {
+	if dst == c.Rank {
+		panic("mesh: self-send")
+	}
+	cp := c.Buffer8(len(data))
+	copy(cp, data)
+	c.deliver8(dst, tag, cp, scale)
+}
+
+// SendOwned8 is SendOwned for int8 payloads: ownership of buf transfers to
+// the receiver with no copy — the relay form of the int8 ring collectives,
+// which forward received chunks untouched (so a gathered chunk is quantized
+// exactly once, at its source, however many hops it travels).
+func (c *Chip) SendOwned8(dst int, tag uint64, buf []int8, scale float32) {
+	if dst == c.Rank {
+		panic("mesh: self-send")
+	}
+	c.deliver8(dst, tag, buf, scale)
+}
+
+func (c *Chip) deliver8(dst int, tag uint64, payload []int8, scale float32) {
+	wire := int64(len(payload)) + 4 // elements + the float32 scale
+	c.bytesSent += wire
+	c.bytesSent8 += wire
+	c.msgsSent++
+	c.mesh.chips[dst].inbox.put(Message{Src: c.Rank, Tag: tag, Data8: payload, Scale: scale})
+}
+
+// Recv blocks until a message with the given source and tag arrives. It is
+// a program error for the matching message to be an int8 payload — the
+// SPMD program knows each tag's wire format.
 func (c *Chip) Recv(src int, tag uint64) []float32 {
-	return c.inbox.take(src, tag)
+	m := c.inbox.take(src, tag)
+	if m.Data8 != nil {
+		panic(fmt.Sprintf("mesh: int8 message (src %d, tag %#x) received as float32", src, tag))
+	}
+	return m.Data
+}
+
+// Recv8 blocks until an int8 message with the given source and tag arrives
+// and returns its payload and chunk scale.
+func (c *Chip) Recv8(src int, tag uint64) ([]int8, float32) {
+	m := c.inbox.take(src, tag)
+	if m.Data != nil {
+		panic(fmt.Sprintf("mesh: float32 message (src %d, tag %#x) received as int8", src, tag))
+	}
+	return m.Data8, m.Scale
 }
 
 // groupInfo caches a chip's view of one axis group: its rank, the group
@@ -361,12 +475,26 @@ func (b *inbox) init() {
 
 func (b *inbox) put(m Message) {
 	b.mu.Lock()
+	// Tag-collision debug check: in a correct SPMD program every (src,
+	// tag) pair is in flight at most once — each collective step's message
+	// is consumed before the same op id can legally reappear. A duplicate
+	// pending pair therefore always means two collectives were issued with
+	// overlapping op ids (the bug class Op.Advance exists to prevent), and
+	// is caught here instead of silently corrupting a gather. The scan is
+	// cheap: pending queues hold at most a few messages between matched
+	// sends and receives.
+	for _, p := range b.pending {
+		if p.Src == m.Src && p.Tag == m.Tag {
+			b.mu.Unlock()
+			panic(fmt.Sprintf("mesh: tag collision — message (src %d, tag %#x) already in flight; overlapping collective op ids?", m.Src, m.Tag))
+		}
+	}
 	b.pending = append(b.pending, m)
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }
 
-func (b *inbox) take(src int, tag uint64) []float32 {
+func (b *inbox) take(src int, tag uint64) Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
@@ -376,7 +504,7 @@ func (b *inbox) take(src int, tag uint64) []float32 {
 		for i, m := range b.pending {
 			if m.Src == src && m.Tag == tag {
 				b.pending = append(b.pending[:i], b.pending[i+1:]...)
-				return m.Data
+				return m
 			}
 		}
 		b.cond.Wait()

@@ -152,3 +152,103 @@ func TestNewPanicsOnInvalidTorus(t *testing.T) {
 	}()
 	New(hardware.Torus{X: 0, Y: 1, Z: 1})
 }
+
+func TestSendRecv8(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	m.Run(func(c *Chip) {
+		peer := 1 - c.Rank
+		c.Send8(peer, 7, []int8{int8(c.Rank), 42, -17}, 0.5)
+		got, scale := c.Recv8(peer, 7)
+		if got[0] != int8(peer) || got[1] != 42 || got[2] != -17 || scale != 0.5 {
+			t.Errorf("chip %d received %v scale %g", c.Rank, got, scale)
+		}
+		c.Recycle8(got)
+	})
+}
+
+func TestSend8CopiesPayload(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	m.Run(func(c *Chip) {
+		buf := []int8{int8(c.Rank)}
+		c.Send8(1-c.Rank, 1, buf, 1)
+		buf[0] = -1 // mutate after send
+		got, _ := c.Recv8(1-c.Rank, 1)
+		if got[0] != int8(1-c.Rank) {
+			t.Errorf("chip %d: int8 payload aliased sender buffer: %v", c.Rank, got)
+		}
+	})
+}
+
+// Int8 messages are charged byte-accurately — one byte per element plus
+// four for the chunk scale — and counted separately from float32 traffic.
+func TestByteAccountingPerDType(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	m.Run(func(c *Chip) {
+		peer := 1 - c.Rank
+		c.Send(peer, 1, make([]float32, 10))  // 40 B
+		c.Send8(peer, 2, make([]int8, 10), 1) // 10 + 4 B
+		c.Recv(peer, 1)
+		c.Recv8(peer, 2)
+	})
+	if got := m.BytesSent(); got != 2*(40+14) {
+		t.Errorf("BytesSent = %d, want %d", got, 2*(40+14))
+	}
+	if got := m.Int8BytesSent(); got != 2*14 {
+		t.Errorf("Int8BytesSent = %d, want %d", got, 2*14)
+	}
+	if got := m.Chip(0).Int8BytesSent(); got != 14 {
+		t.Errorf("chip 0 int8 bytes = %d, want 14", got)
+	}
+	m.ResetCounters()
+	if m.BytesSent() != 0 || m.Int8BytesSent() != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+// Receiving a message as the wrong wire format is a program error, not a
+// silent misparse.
+func TestRecvWrongFormatPanics(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for dtype-mismatched receive")
+		}
+	}()
+	m.Run(func(c *Chip) {
+		peer := 1 - c.Rank
+		c.Send8(peer, 3, []int8{1}, 1)
+		c.Recv(peer, 3) // int8 message taken as float32
+	})
+}
+
+// The tag-collision debug check: a second in-flight message with the same
+// (src, tag) means two collectives were issued with overlapping op ids,
+// and panics at the send instead of corrupting a gather downstream.
+func TestTagCollisionPanics(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected tag-collision panic")
+		}
+	}()
+	m.Run(func(c *Chip) {
+		if c.Rank == 0 {
+			c.Send(1, 9, []float32{1})
+			c.Send(1, 9, []float32{2}) // same (src, tag) still pending
+		}
+	})
+}
+
+// Recycled int8 buffers are reused: steady-state int8 traffic draws from
+// the pool instead of allocating.
+func TestBuffer8PoolReuse(t *testing.T) {
+	m := New(hardware.Torus{X: 1, Y: 1, Z: 1})
+	c := m.Chip(0)
+	b := c.Buffer8(100)
+	b[0] = 9
+	c.Recycle8(b)
+	b2 := c.Buffer8(100)
+	if &b2[0] != &b[0] {
+		t.Error("Buffer8 did not reuse the recycled buffer")
+	}
+}

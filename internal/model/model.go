@@ -54,29 +54,41 @@ func (f FFN) String() string {
 	return fmt.Sprintf("FFN(%d)", int(f))
 }
 
-// DType enumerates weight storage formats. Matmul arithmetic stays bf16 in
-// all cases (matching the paper: int8 affects weight memory and weight
-// communication volume only).
+// DType enumerates storage/wire element formats. Matmul arithmetic stays
+// bf16 in all cases (matching the paper: int8 affects weight memory,
+// KV-cache bytes and communication volume only).
 type DType int
 
 const (
-	// BF16 weights: 2 bytes per parameter.
+	// BF16: 2 bytes per element (weights, activations and the KV cache
+	// default to it).
 	BF16 DType = iota
-	// Int8 weights: 1 byte per parameter (AQT-style weight quantization).
+	// Int8: 1 byte per element (AQT-style weight quantization, the
+	// quantize-at-append KV cache, and int8 collective payloads).
 	Int8
+	// FP32: 4 bytes per element — the functional engine's exact wire and
+	// storage format, used when the analytic model prices the simulated
+	// mesh rather than real hardware.
+	FP32
 )
 
-// Bytes returns the storage size of one parameter.
+// Bytes returns the storage size of one element.
 func (d DType) Bytes() float64 {
-	if d == Int8 {
+	switch d {
+	case Int8:
 		return 1
+	case FP32:
+		return 4
 	}
 	return 2
 }
 
 func (d DType) String() string {
-	if d == Int8 {
+	switch d {
+	case Int8:
 		return "int8"
+	case FP32:
+		return "fp32"
 	}
 	return "bf16"
 }

@@ -109,6 +109,21 @@ type Request struct {
 	// attention phase's KV memory traffic and half the cache bytes against
 	// the HBM budget, so roughly twice the feasible context or batch.
 	KVDType model.DType
+	// WireDType is the element format of the collective payloads on the
+	// interconnect — the activation all-gathers, reduce-scatters and
+	// all-to-alls each layout induces, and the weight-gathered layouts'
+	// per-layer staging. The default (BF16) is the paper's baseline;
+	// Int8 models per-chunk-quantized collective payloads
+	// (engine.Options.Int8Wire functionally), halving exposed
+	// communication time in every activation-bound layout. Weight-gather
+	// traffic moves at the cheaper of the at-rest and wire formats:
+	// at-rest int8 shards ship as-is over a wider wire, and an int8 wire
+	// quantizes wider at-rest shards at the fabric boundary — matching
+	// the functional engine, whose Int8Wire quantizes the
+	// weight-gathered staging like any other chunk. The per-chunk scale
+	// overhead (4 bytes per message) is negligible at analytic scales
+	// and ignored here; commcost's *WireVolume forms account it exactly.
+	WireDType model.DType
 	// FFN and Attn are the partitioning layouts for the phase being
 	// evaluated.
 	FFN  partition.FFNLayout
@@ -298,17 +313,25 @@ func layerStep(r Request, k Knobs, plan partition.FFNPlan, attn partition.AttnPl
 	}
 
 	// Communication: FFN activation/weight collectives (+ attention's own
-	// pair when the block is serial) and the batch-sharding all-to-alls.
-	const actBytes = 2 // bf16 activations
+	// pair when the block is serial) and the batch-sharding all-to-alls,
+	// at the wire dtype's bytes per activation element. Weight-gathered
+	// staging travels at the cheaper of the at-rest and wire formats
+	// (see Request.WireDType).
+	actBytes := r.WireDType.Bytes()
+	commWeights := r.Weights
+	if r.WireDType.Bytes() < commWeights.Bytes() {
+		commWeights = r.WireDType
+	}
+	layerCommBytes := c.WeightBytesPerLayer(commWeights)
 	var comm float64
 	if c.ParallelBlock {
 		fused := stages(c)[0].params / e
-		comm = commcost.Time(commcost.FFNLayerComm(plan, tokens, e, fused, actBytes, layerBytes).Total(), sys.Chip.NetworkBandwidth)
+		comm = commcost.Time(commcost.FFNLayerComm(plan, tokens, e, fused, actBytes, layerCommBytes).Total(), sys.Chip.NetworkBandwidth)
 	} else {
 		ffnW := float64(c.FFNMatrices()-1) * float64(c.DFF)
 		attnW := float64(c.Heads*c.HeadDim + 2*c.KVHeads*c.HeadDim)
-		comm = commcost.Time(commcost.FFNLayerComm(plan, tokens, e, ffnW, actBytes, layerBytes*0.5).Total(), sys.Chip.NetworkBandwidth) +
-			commcost.Time(commcost.FFNLayerComm(plan, tokens, e, attnW, actBytes, layerBytes*0.5).Total(), sys.Chip.NetworkBandwidth)
+		comm = commcost.Time(commcost.FFNLayerComm(plan, tokens, e, ffnW, actBytes, layerCommBytes*0.5).Total(), sys.Chip.NetworkBandwidth) +
+			commcost.Time(commcost.FFNLayerComm(plan, tokens, e, attnW, actBytes, layerCommBytes*0.5).Total(), sys.Chip.NetworkBandwidth)
 	}
 	if phase == PhaseDecode {
 		comm += commcost.Time(commcost.AttnAllToAllBytes(attn, tokens, c.HeadDim, actBytes), sys.Chip.NetworkBandwidth)

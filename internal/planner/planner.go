@@ -27,6 +27,15 @@ type Workload struct {
 	Context int // new input tokens per sequence this turn
 	Past    int // tokens already in the KV cache (cached conversation history)
 	Gen     int // output tokens per sequence
+	// Wire is the activation collective payload format the deployment
+	// runs (BF16 default; Int8 halves every candidate layout's exposed
+	// communication time, which can shift the chosen layout — cheaper
+	// collectives favor the aggregation-heavier weight-stationary
+	// layouts at small batch).
+	Wire model.DType
+	// KV is the KV-cache storage format (BF16 default; Int8 halves cache
+	// bytes, moving the OOM feasibility boundary the planner prunes on).
+	KV model.DType
 }
 
 // Objective selects what the planner minimizes.
@@ -100,6 +109,7 @@ func ChoosePrefill(cfg model.Config, sys hardware.System, dt model.DType,
 		for _, attn := range attnCandidates(cfg) {
 			r := perf.Prefill(perf.Request{
 				Model: cfg, System: sys, Weights: dt,
+				KVDType: w.KV, WireDType: w.Wire,
 				FFN: ffn, Attn: attn,
 				Batch: w.Batch, Context: w.Context, Past: w.Past, Gen: w.Gen,
 			}, k)
@@ -127,6 +137,7 @@ func ChooseDecode(cfg model.Config, sys hardware.System, dt model.DType,
 		for _, attn := range attnCandidates(cfg) {
 			r := perf.Decode(perf.Request{
 				Model: cfg, System: sys, Weights: dt,
+				KVDType: w.KV, WireDType: w.Wire,
 				FFN: ffn, Attn: attn,
 				Batch: w.Batch, Context: w.Context, Past: w.Past, Gen: w.Gen,
 			}, k)

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"testing"
+
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+)
+
+// WireDType threads through both tiers: quantized collective payloads can
+// only shrink service times, and at a small-batch decode point — where
+// the per-step cost is communication-heavy — the pipeline's min latency
+// strictly improves.
+func TestAnalyzeInt8WireNeverSlower(t *testing.T) {
+	c := Config{
+		Model:   model.PaLM540BPadded(),
+		Weights: model.Int8,
+		Prefill: Tier{
+			System: hardware.TPUv4Slice(4, 4, 4), Batch: 1,
+			FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		},
+		Decode: Tier{
+			System: hardware.TPUv4Slice(4, 4, 4), Batch: 8,
+			FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		},
+		Context: 2048,
+		Gen:     64,
+		Knobs:   perf.DefaultKnobs(),
+	}
+	bf, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WireDType = model.Int8
+	q8, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q8.PrefillService > bf.PrefillService || q8.DecodeService > bf.DecodeService {
+		t.Errorf("int8 wire slower: prefill %.4fs vs %.4fs, decode %.4fs vs %.4fs",
+			q8.PrefillService, bf.PrefillService, q8.DecodeService, bf.DecodeService)
+	}
+	if q8.MinLatency >= bf.MinLatency {
+		t.Errorf("int8 wire min latency %.4fs not below bf16 %.4fs at a comm-heavy point",
+			q8.MinLatency, bf.MinLatency)
+	}
+	if q8.Throughput < bf.Throughput {
+		t.Errorf("int8 wire throughput %.2f req/s below bf16 %.2f", q8.Throughput, bf.Throughput)
+	}
+}

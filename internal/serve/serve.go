@@ -35,8 +35,12 @@ type Config struct {
 	// the context or batch the decode tier can admit — the engine-level
 	// counterpart is engine.Options.Int8KV).
 	KVDType model.DType
-	Prefill Tier
-	Decode  Tier
+	// WireDType is the activation collective payload format on both tiers
+	// (BF16 default; Int8 halves exposed communication time — the
+	// engine-level counterpart is engine.Options.Int8Wire).
+	WireDType model.DType
+	Prefill   Tier
+	Decode    Tier
 	// Context and Gen are per-request token counts.
 	Context int
 	Gen     int
@@ -76,8 +80,8 @@ type Metrics struct {
 func Analyze(c Config) (Metrics, error) {
 	pre := perf.PrefillExpected(perf.Request{
 		Model: c.Model, System: c.Prefill.System, Weights: c.Weights,
-		KVDType: c.KVDType,
-		FFN:     c.Prefill.FFN, Attn: c.Prefill.Attn,
+		KVDType: c.KVDType, WireDType: c.WireDType,
+		FFN: c.Prefill.FFN, Attn: c.Prefill.Attn,
 		Batch: c.Prefill.Batch, Context: c.Context,
 	}, c.Knobs, c.PrefixHitRate, c.PrefixLen)
 	if !pre.Feasible {
@@ -85,8 +89,8 @@ func Analyze(c Config) (Metrics, error) {
 	}
 	dec := perf.Decode(perf.Request{
 		Model: c.Model, System: c.Decode.System, Weights: c.Weights,
-		KVDType: c.KVDType,
-		FFN:     c.Decode.FFN, Attn: c.Decode.Attn,
+		KVDType: c.KVDType, WireDType: c.WireDType,
+		FFN: c.Decode.FFN, Attn: c.Decode.Attn,
 		Batch: c.Decode.Batch, Context: c.Context, Gen: c.Gen,
 	}, c.Knobs)
 	if !dec.Feasible {
