@@ -8,7 +8,7 @@ FUZZTIME ?= 10s
 # Benchmarks the regression gate watches and the allowed ns/op slip. The
 # threshold is generous because the committed baseline may come from
 # different hardware; the gate exists to catch order-of-magnitude slips.
-GATE_BENCHES ?= BenchmarkEngineDecodeStep,BenchmarkEngineDecodeStepInt8KV,BenchmarkEngineDecodeStepInt8Wire,BenchmarkContinuousBatching
+GATE_BENCHES ?= BenchmarkEngineDecodeStep,BenchmarkEngineDecodeStepInt8KV,BenchmarkEngineDecodeStepInt8Wire,BenchmarkEngineDecodeStepStreamed,BenchmarkEngineDecodeStepStreamedInt8Wire,BenchmarkContinuousBatching
 GATE_MAX_REGRESS ?= 20
 
 # Tier-1 verification plus race detection in one command.
@@ -41,6 +41,7 @@ fuzz-smoke:
 	$(GO) test ./internal/kvcache  -run='^$$' -fuzz=FuzzInt8AppendView   -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/quant    -run='^$$' -fuzz=FuzzQuantizeRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/collective -run='^$$' -fuzz=FuzzInt8WireRoundTrip -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/collective -run='^$$' -fuzz=FuzzStreamRoundTrip -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/sampling -run='^$$' -fuzz=FuzzFilterTopKP      -fuzztime=$(FUZZTIME)
 
 # Run the benchmarks once and convert the output to the benchstat-

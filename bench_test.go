@@ -469,6 +469,32 @@ func BenchmarkEngineDecodeStepInt8Wire(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineDecodeStepStreamed is BenchmarkEngineDecodeStep with the
+// chunk-streamed FFN and weight-staging paths (engine.Options.Streamed):
+// same model, mesh, layout and bounded-depth harness. Each ring step's
+// decoded chunk feeds a per-chunk GEMM slice while the next chunk relays,
+// so the wire schedule is identical to the barrier twin; on the simulated
+// mesh (which charges no transfer time) the mode trades slightly smaller
+// GEMM calls for the same arithmetic, so expect rough parity with the
+// barrier figure, bounded by the gate.
+func BenchmarkEngineDecodeStepStreamed(b *testing.B) {
+	benchEngineDecodeStep(b, engine.Options{
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Streamed: true,
+	})
+}
+
+// BenchmarkEngineDecodeStepStreamedInt8Wire combines the chunk-streamed
+// paths with int8 wire payloads — the production pairing for multi-chip
+// decode (quantized chunks on the ring, dequantized once at delivery into
+// the consumer's GEMM slice). Comparable to both single-mode twins above.
+func BenchmarkEngineDecodeStepStreamedInt8Wire(b *testing.B) {
+	benchEngineDecodeStep(b, engine.Options{
+		FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+		Streamed: true, Int8Wire: true,
+	})
+}
+
 func benchEngineDecodeStep(b *testing.B, opts engine.Options) {
 	cfg := model.Config{
 		Name: "bench", Layers: 2, DModel: 64, DFF: 128,

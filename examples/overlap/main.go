@@ -1,0 +1,114 @@
+// Compute–communication overlap: the looped CollectiveEinsum of §3.5, and
+// what it can — and cannot — hide. Streaming a collective chunk-by-chunk
+// lets each chip run the GEMM slice for a chunk while the next chunk relays
+// on the ring, hiding the *bandwidth* component of communication under
+// compute. What it cannot hide is the serial hop-latency floor: every ring
+// step still waits on a neighbor hop, so a latency-bound small-batch decode
+// stays latency-bound no matter how perfectly compute and transfer overlap.
+//
+// The first half prices this with the analytic model on PaLM 540B over 64
+// chips: decode-step communication at overlap 0 versus overlap 1, showing
+// the overlapped cost pinning to the hop floor rather than dropping to
+// zero — and the int8-wire "win" collapsing to ~1x once both wire formats
+// wait on the same hops.
+//
+// The second half does the real thing on the functional engine: the same
+// weights run with barrier and chunk-streamed collectives over a simulated
+// 8-chip mesh, showing the greedy tokens identical over a 64-step horizon
+// and the mesh's measured overlap fraction (per-chunk consumer work as a
+// share of consumer work plus blocked-receive wait).
+//
+//	go run ./examples/overlap
+package main
+
+import (
+	"fmt"
+
+	"esti/internal/engine"
+	"esti/internal/hardware"
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+	"esti/internal/reference"
+)
+
+func main() {
+	// --- Analytic: overlap on PaLM 540B over 64 chips, decode batch 8. ---
+	cfg := model.PaLM540BPadded()
+	sys := hardware.TPUv4Slice(4, 4, 4)
+	fmt.Printf("%s on %d chips, int8 weights, decode batch 8\n\n", cfg.Name, sys.Chips())
+
+	decode := func(wire model.DType, overlap float64) perf.Result {
+		k := perf.DefaultKnobs()
+		k.OverlapFrac = overlap
+		return perf.Decode(perf.Request{
+			Model: cfg, System: sys, Weights: model.Int8, WireDType: wire,
+			FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+			Batch: 8, Context: 2048, Gen: 64,
+		}, k)
+	}
+	for _, ov := range []float64{0, 0.5, 1} {
+		r := decode(model.Int8, ov)
+		comm := r.Breakdown.Comm / 64
+		floor := r.Breakdown.CommFloor / 64
+		fmt.Printf("overlap %.1f: decode comm %6.3f ms/step (hop floor %.3f ms, bandwidth %.3f ms)\n",
+			ov, comm*1000, floor*1000, (comm-floor)*1000)
+	}
+
+	// The honest int8-wire ratio: with the bandwidth component hidden,
+	// both wire formats wait on the same ring hops. A subtractive overlap
+	// model that discounts the floor would report a fictitious sub-1x
+	// ratio here (0.92x at these settings); the floor-aware model pins it.
+	q8 := decode(model.Int8, 1).Breakdown.Comm
+	bf := decode(model.BF16, 1).Breakdown.Comm
+	fmt.Printf("\nint8-vs-bf16 decode comm at overlap 1.0: %.2fx — the hop-latency floor,\n", q8/bf)
+	fmt.Printf("not wire bytes, bounds small-batch decode\n")
+
+	// --- Functional: chunk-streamed collectives on a simulated mesh. ---
+	tiny := model.Config{
+		Name: "tiny", Layers: 2, DModel: 64, DFF: 128,
+		Heads: 8, HeadDim: 8, KVHeads: 1, Attn: model.Multiquery,
+		FFNKind: model.SwiGLU, ParallelBlock: true, Vocab: 64,
+	}
+	const batch, promptLen, gen = 8, 4, 64
+	w := reference.NewWeights(tiny, 11)
+	torus := hardware.Torus{X: 2, Y: 2, Z: 2}
+	prompt := make([]int, batch*promptLen)
+	for i := range prompt {
+		prompt[i] = (i*7 + 3) % tiny.Vocab
+	}
+
+	run := func(streamed bool) (toks [][]int, overlap float64) {
+		eng, err := engine.New(w, torus, engine.Options{
+			FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch,
+			Streamed: streamed,
+		}, batch, promptLen+gen+1)
+		if err != nil {
+			panic(err)
+		}
+		toks = eng.Generate(prompt, promptLen, gen)
+		return toks, eng.MeasuredOverlap()
+	}
+	barrierToks, _ := run(false)
+	streamToks, frac := run(true)
+
+	fmt.Printf("\nfunctional engine, %s on %d simulated chips, %d prompts x %d greedy steps:\n",
+		tiny.Name, torus.Chips(), batch, gen)
+	same := 0
+	for s := 0; s < batch; s++ {
+		match := true
+		for g := 0; g < gen; g++ {
+			if barrierToks[s][g] != streamToks[s][g] {
+				match = false
+				break
+			}
+		}
+		if match {
+			same++
+		}
+	}
+	fmt.Printf("  greedy tokens identical, barrier vs streamed: %d/%d sequences over %d steps\n",
+		same, batch, gen)
+	fmt.Printf("  measured overlap fraction: %.2f of in-collective time spent on per-chunk\n", frac)
+	fmt.Printf("  compute instead of blocked receives\n")
+}

@@ -13,6 +13,16 @@
 // element — which the tests assert by comparing measured mesh traffic
 // against package commcost for both formats.
 //
+// The gather and reduce-scatter rings also come in streaming form
+// (stream.go): AllGatherStream and ReduceScatterStream hand each chunk to
+// a caller callback while the next chunk is still in flight — the paper's
+// Looped CollectiveEinsum (§3.5), which fuses the per-chunk slice of a
+// matmul into the ring schedule. Overlap of this kind hides only the
+// bandwidth component of the collective: the K-1 serial link traversals
+// (hops × per-hop latency) stay on the critical path no matter how the
+// compute is chunked, which is exactly the bandwidth-vs-latency-floor
+// split package perf's comm term charges.
+//
 // Buffer ownership: collective results are allocated from the mesh's
 // message pool; a caller that has fully consumed a result may hand it back
 // with Chip.Recycle so a steady-state SPMD loop triggers no allocation,

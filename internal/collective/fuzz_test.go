@@ -28,6 +28,77 @@ import (
 // internal/kvcache's FuzzInt8AppendView; this target covers the wire: the
 // encode in Payload.send, the mesh transfer, and the decode/fold on the
 // receiving chip.
+// FuzzStreamRoundTrip pins the streaming collectives' defining contract
+// under adversarial payloads: for arbitrary float32 bit patterns (NaN and
+// ±Inf included), AllGatherStream and ReduceScatterStream return exactly
+// the same bits as their barrier twins, for both the fp32 and int8 wire
+// formats. The streamed forms share the barrier forms' message sizes, tags,
+// and quantization points, so any divergence — a reordered fold, a
+// re-quantized chunk, a consumer observing a half-decoded buffer — shows up
+// as a bit mismatch here.
+func FuzzStreamRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 255, 254, 253, 252})
+	f.Add([]byte{0x7f, 0x80, 0x00, 0x00, 0xff, 0x80, 0x00, 0x00}) // +Inf, -Inf
+	f.Add([]byte{0x7f, 0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01}) // NaN, denormal
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		elems := len(raw) / 4
+		if elems == 0 || elems > 256 {
+			return
+		}
+		chunks := [2][]float32{make([]float32, elems), make([]float32, elems)}
+		for i := 0; i < elems; i++ {
+			bits := uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 | uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+			v := math.Float32frombits(bits)
+			chunks[0][i] = v
+			chunks[1][i] = -v / 3
+		}
+		tr := hardware.Torus{X: 2, Y: 1, Z: 1}
+		for _, wire := range []Payload{nil, WireInt8} {
+			run := func(streamed bool) (ag, rs [2][]float32) {
+				m := mesh.New(tr)
+				m.Run(func(c *mesh.Chip) {
+					agOp := Op{Chip: c, ID: 1, Wire: wire}
+					rsOp := Op{Chip: c, ID: 2, Wire: wire}
+					full := make([]float32, 2*elems)
+					copy(full, chunks[c.Rank])
+					copy(full[elems:], chunks[1-c.Rank])
+					var g, r []float32
+					if streamed {
+						g = AllGatherStream(agOp, hardware.GroupX, chunks[c.Rank], func(int, []float32) {})
+						work := make([]float32, 2*elems)
+						r = ReduceScatterStream(rsOp, hardware.GroupX, work, func(idx int, dst []float32) {
+							copy(dst, full[idx*elems:(idx+1)*elems])
+						})
+					} else {
+						g = AllGather(agOp, hardware.GroupX, chunks[c.Rank])
+						r = ReduceScatter(rsOp, hardware.GroupX, full)
+					}
+					ag[c.Rank] = append([]float32(nil), g...)
+					rs[c.Rank] = append([]float32(nil), r...)
+				})
+				return ag, rs
+			}
+			bAG, bRS := run(false)
+			sAG, sRS := run(true)
+			for rank := 0; rank < 2; rank++ {
+				for i := range bAG[rank] {
+					if math.Float32bits(bAG[rank][i]) != math.Float32bits(sAG[rank][i]) {
+						t.Fatalf("wire %T chip %d: streamed gather differs at %d: %g != %g",
+							wire, rank, i, sAG[rank][i], bAG[rank][i])
+					}
+				}
+				for i := range bRS[rank] {
+					if math.Float32bits(bRS[rank][i]) != math.Float32bits(sRS[rank][i]) {
+						t.Fatalf("wire %T chip %d: streamed reduce-scatter differs at %d: %g != %g",
+							wire, rank, i, sRS[rank][i], bRS[rank][i])
+					}
+				}
+			}
+		}
+	})
+}
+
 func FuzzInt8WireRoundTrip(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 255, 254, 253, 252})
 	f.Add([]byte{0x7f, 0x80, 0x00, 0x00, 0xff, 0x80, 0x00, 0x00}) // +Inf, -Inf

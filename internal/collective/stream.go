@@ -1,0 +1,146 @@
+package collective
+
+import (
+	"fmt"
+	"time"
+
+	"esti/internal/hardware"
+	"esti/internal/mesh"
+)
+
+// Streaming variants of the ring collectives — the Looped CollectiveEinsum
+// of Section 3.5. The barrier collectives in collective.go hold the caller
+// until the last chunk lands; the streaming forms instead hand each chunk
+// to a caller callback at the moment it becomes available, while the next
+// chunk is still relaying on the ring. Because each ring step's relay-send
+// is issued before the callback runs (and mesh sends never block), the
+// downstream chip is already receiving chunk k+1 while this chip computes
+// on chunk k: compute genuinely overlaps the in-flight transfer, which is
+// what hides the bandwidth component of the collective. The serial
+// hop-latency floor — one link traversal per ring step on the critical
+// path — remains, exactly as package perf's overlap-aware comm term
+// charges it.
+//
+// Wire behavior is identical to the barrier twins: same message sizes,
+// same tags, same op-id consumption (one id per call, so Op.Advance
+// bookkeeping is unchanged and streamed and barrier ops interleave freely
+// on one chip), and for WireInt8 the same quantization points — chunks
+// quantize once at their source on a gather and once per hop on a
+// reduction. The results are therefore bit-identical to AllGather/
+// ReduceScatter for both payload formats, which the property and fuzz
+// tests assert under adversarial consumer delays.
+
+// AllGatherStream is AllGather with a consumer callback: consume(idx,
+// chunk) is invoked exactly once per group member, with idx the source's
+// group rank and chunk aliasing that member's slice of the returned
+// buffer, as soon as the chunk's contents are available — own shard first,
+// then ring order (rank-1, rank-2, ...). Each invocation runs after the
+// step's relay-send, so the ring keeps moving while the consumer computes.
+// The callback must not retain chunk beyond the call, and must not issue
+// mesh operations. A nil consume degenerates to AllGather. The returned
+// buffer is bit-identical to AllGather's.
+func AllGatherStream(o Op, g hardware.AxisGroup, shard []float32, consume func(chunkIdx int, chunk []float32)) []float32 {
+	c := o.Chip
+	w := o.wire()
+	rank, size := c.GroupRank(g)
+	if size == 1 {
+		out := make([]float32, len(shard))
+		copy(out, shard)
+		if consume != nil {
+			consume(0, out)
+		}
+		return out
+	}
+	chunkLen := len(shard)
+	out := c.Buffer(size * chunkLen)
+	copy(out[rank*chunkLen:(rank+1)*chunkLen], shard)
+	next := c.GroupPeer(g, (rank+1)%size)
+	prev := c.GroupPeer(g, (rank-1+size)%size)
+	c.BeginOverlapOp()
+	defer c.EndOverlapOp()
+	var tr transit
+	ready := rank // chunk decoded and not yet consumed
+	for s := 0; s < size-1; s++ {
+		if s == 0 {
+			w.send(c, next, o.tag(s), shard)
+		} else {
+			w.relay(c, next, o.tag(s), tr)
+		}
+		deliverChunk(c, consume, ready, out[ready*chunkLen:(ready+1)*chunkLen])
+		idx := (rank - s - 1 + 2*size) % size
+		tr = w.recvInto(c, prev, o.tag(s), out[idx*chunkLen:(idx+1)*chunkLen])
+		ready = idx
+	}
+	w.drop(c, tr)
+	deliverChunk(c, consume, ready, out[ready*chunkLen:(ready+1)*chunkLen])
+	return out
+}
+
+// ReduceScatterStream is ReduceScatter with a lazy producer: instead of
+// requiring the full input up front, produce(idx, dst) is called exactly
+// once per chunk — just before the ring needs that chunk — to write the
+// chip's contribution into dst. full is the caller's workspace for the
+// whole input; produced chunks are folded in place (clobbered), so its
+// prior contents do not survive. The production order is ring order:
+// rank-1 first, then rank-2, ..., ending with the chip's own chunk rank —
+// and every produce after the first runs between a ring send and the
+// matching blocking receive, so producing chunk k overlaps the upstream
+// chip's transmission of chunk k+1. The wire messages are identical to
+// ReduceScatter's (same sizes, tags, and — for WireInt8 — quantization
+// points), so the returned shard is bit-identical to the barrier form for
+// both payloads. A nil produce treats full as already valid, matching
+// ReduceScatter exactly. The callback must not issue mesh operations.
+func ReduceScatterStream(o Op, g hardware.AxisGroup, full []float32, produce func(chunkIdx int, chunk []float32)) []float32 {
+	c := o.Chip
+	w := o.wire()
+	rank, size := c.GroupRank(g)
+	if size == 1 {
+		if produce != nil {
+			produce(0, full)
+		}
+		out := make([]float32, len(full))
+		copy(out, full)
+		return out
+	}
+	if len(full)%size != 0 {
+		panic(fmt.Sprintf("collective: reduce-scatter %d elements over %d chips", len(full), size))
+	}
+	chunkLen := len(full) / size
+	chunk := func(i int) []float32 { return full[i*chunkLen : (i+1)*chunkLen] }
+	next := c.GroupPeer(g, (rank+1)%size)
+	prev := c.GroupPeer(g, (rank-1+size)%size)
+	c.BeginOverlapOp()
+	defer c.EndOverlapOp()
+	first := (rank - 1 + size) % size
+	produceChunk(c, produce, first, chunk(first))
+	for s := 0; s < size-1; s++ {
+		sendIdx := (rank - 1 - s + 2*size) % size
+		w.send(c, next, o.tag(s), chunk(sendIdx))
+		recvIdx := (rank - 2 - s + 3*size) % size
+		produceChunk(c, produce, recvIdx, chunk(recvIdx))
+		w.recvAdd(c, prev, o.tag(s), chunk(recvIdx))
+	}
+	out := c.Buffer(chunkLen)
+	copy(out, chunk(rank))
+	return out
+}
+
+// deliverChunk invokes consume under the overlap-work timer.
+func deliverChunk(c *mesh.Chip, consume func(int, []float32), idx int, chunk []float32) {
+	if consume == nil {
+		return
+	}
+	start := time.Now()
+	consume(idx, chunk)
+	c.NoteOverlapWork(time.Since(start))
+}
+
+// produceChunk invokes produce under the overlap-work timer.
+func produceChunk(c *mesh.Chip, produce func(int, []float32), idx int, chunk []float32) {
+	if produce == nil {
+		return
+	}
+	start := time.Now()
+	produce(idx, chunk)
+	c.NoteOverlapWork(time.Since(start))
+}

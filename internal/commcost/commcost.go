@@ -124,8 +124,15 @@ func AllReduceVolume(bytes float64, k int) float64 { return 2 * bytes * frac(k) 
 func AllToAllVolume(bytes float64, k int) float64 { return bytes * frac(k) }
 
 // Time converts a per-chip communication volume into seconds at the given
-// per-chip network bandwidth (bytes/s).
+// per-chip network bandwidth (bytes/s). A non-positive (or NaN) bandwidth
+// is a degenerate hardware description, not a free fabric: it yields +Inf
+// for any volume — including zero, which previously masked the error as a
+// zero-cost transfer — so infeasibility surfaces in the totals instead of
+// silently pricing collectives at 0 or propagating a -0/negative quotient.
 func Time(volumeBytes, bandwidth float64) float64 {
+	if math.IsNaN(volumeBytes) || math.IsNaN(bandwidth) || bandwidth <= 0 {
+		return math.Inf(1)
+	}
 	if volumeBytes <= 0 {
 		return 0
 	}

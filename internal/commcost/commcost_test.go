@@ -54,6 +54,42 @@ func TestTime(t *testing.T) {
 	}
 }
 
+// A non-positive (or NaN) bandwidth is a broken hardware description, not a
+// free fabric: Time must return +Inf for every volume — zero volume
+// included, which previously slipped through as a zero-cost transfer and
+// masked the bad config — so the error surfaces in phase totals instead of
+// silently pricing collectives at 0 (or propagating -0 / negative times).
+func TestTimeDegenerateBandwidth(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name              string
+		volume, bandwidth float64
+		wantInf           bool
+		want              float64
+	}{
+		{"zero bandwidth", 1e9, 0, true, 0},
+		{"zero bandwidth zero volume", 0, 0, true, 0},
+		{"negative bandwidth", 1e9, -270e9, true, 0},
+		{"negative bandwidth negative volume", -5, -1, true, 0},
+		{"NaN bandwidth", 1e9, nan, true, 0},
+		{"NaN volume", nan, 270e9, true, 0},
+		{"both NaN", nan, nan, true, 0},
+		{"healthy", 540e9, 270e9, false, 2},
+		{"healthy zero volume", 0, 270e9, false, 0},
+		{"healthy negative volume", -7, 270e9, false, 0},
+	}
+	for _, tc := range cases {
+		got := Time(tc.volume, tc.bandwidth)
+		if tc.wantInf {
+			if !math.IsInf(got, 1) {
+				t.Errorf("%s: Time(%g, %g) = %g, want +Inf", tc.name, tc.volume, tc.bandwidth, got)
+			}
+		} else if got != tc.want {
+			t.Errorf("%s: Time(%g, %g) = %g, want %g", tc.name, tc.volume, tc.bandwidth, got, tc.want)
+		}
+	}
+}
+
 // Section 3.2.1: 1D weight-stationary communication is 2·B·L·E/bandwidth,
 // independent of chip count (up to the (K-1)/K factor).
 func Test1DWSVolumeMatchesPaperFormula(t *testing.T) {

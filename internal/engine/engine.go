@@ -104,6 +104,22 @@ type Options struct {
 	// per-chip message pools, so steady-state decode stays
 	// allocation-free.
 	Int8Wire bool
+	// Streamed fuses the FFN matmuls into the collective chunk stream —
+	// the paper's Looped CollectiveEinsum (§3.5). Activation gathers
+	// become AllGatherStream calls whose consumers fold each arriving
+	// E-chunk's slice of the blocked GEMM into a running accumulator, and
+	// the 1D layout's down-projection + reduce-scatter runs as a
+	// ReduceScatterStream whose producer computes each output chunk just
+	// before the ring needs it; the weight-gathered layout streams its
+	// per-layer staging copies the same way. Compute on chunk k proceeds
+	// while chunk k+1 is in flight, which is what the mesh's measured
+	// overlap fraction (Mesh.MeasuredOverlapFrac) observes. Results are
+	// token-exact vs the barrier path on every layout and wire format
+	// (chunked accumulation reorders float sums); on a single chip the
+	// engine uses the barrier path — there is nothing to overlap — so the
+	// zero-allocation decode contract is unchanged. Valid on every layout,
+	// orthogonal to the Int8 options.
+	Streamed bool
 }
 
 // weight is a matrix in either float or int8 form.
@@ -151,6 +167,79 @@ func (w weight) mulA(ar *tensor.Arena, a *tensor.Mat) *tensor.Mat {
 	return tensor.MatMulInto(ar.Mat(a.Rows, w.f.Cols), a, w.f)
 }
 
+// mulInto multiplies into a caller-provided destination (the streamed
+// down-projection's per-chunk GEMM, whose output is reused every chunk).
+func (w weight) mulInto(dst, a *tensor.Mat) *tensor.Mat {
+	if w.q != nil {
+		return quant.MatMulInto(dst, a, w.q)
+	}
+	return tensor.MatMulInto(dst, a, w.f)
+}
+
+// mulAcc folds a contraction chunk's partial product into dst: dst must
+// already be [a.Rows, cols] and zeroed (or hold prior chunks' partials).
+// Int8 weights accumulate raw — the caller applies the shared column
+// scales once with finishAcc after the last chunk, matching the unsharded
+// kernel's single scale application.
+func (w weight) mulAcc(dst, a *tensor.Mat) {
+	if w.q != nil {
+		quant.MatMulAccRawInto(dst, a, w.q)
+		return
+	}
+	tensor.MatMulAccInto(dst, a, w.f)
+}
+
+// finishAcc completes a mulAcc accumulation (applies int8 column scales;
+// no-op for float weights). Call it on the weight whose blocks were
+// accumulated — the blocks share its Scales array.
+func (w weight) finishAcc(dst *tensor.Mat) {
+	if w.q != nil {
+		quant.ScaleColumns(dst, w.q.Scales)
+	}
+}
+
+// rowBlocks returns k zero-copy row-block views of w ([blockRows·k, cols]
+// sliced into [blockRows, cols] each) — the per-chunk weight slices the
+// streamed gathers contract against. Int8 views share w's Scales.
+func rowBlocks(w weight, k, blockRows int) []weight {
+	out := make([]weight, k)
+	for j := 0; j < k; j++ {
+		lo := j * blockRows
+		if w.q != nil {
+			out[j] = weight{q: &quant.Int8Mat{
+				Rows: blockRows, Cols: w.q.Cols,
+				Data:   w.q.Data[lo*w.q.Cols : (lo+blockRows)*w.q.Cols],
+				Scales: w.q.Scales,
+			}}
+		} else {
+			out[j] = weight{f: &tensor.Mat{
+				Rows: blockRows, Cols: w.f.Cols,
+				Data: w.f.Data[lo*w.f.Cols : (lo+blockRows)*w.f.Cols],
+			}}
+		}
+	}
+	return out
+}
+
+// colBlocks returns k column-block copies of w ([rows, blockCols·k] split
+// into [rows, blockCols] each) — the streamed 1D down-projection's
+// per-output-chunk slices. Column blocks are copied once at build time
+// (columns are not contiguous in row-major storage); slicing columns
+// preserves each output element's contraction order, so a block's GEMM is
+// bit-identical to the corresponding columns of the full GEMM.
+func colBlocks(w weight, k, blockCols int) []weight {
+	out := make([]weight, k)
+	for j := 0; j < k; j++ {
+		cols := contiguous(j*blockCols, blockCols)
+		if w.q != nil {
+			out[j] = weight{q: w.q.SelectCols(cols)}
+		} else {
+			out[j] = weight{f: selectCols(w.f, cols)}
+		}
+	}
+	return out
+}
+
 // chipLayer is one layer's weight shards on one chip.
 type chipLayer struct {
 	normGain    []float32
@@ -160,6 +249,12 @@ type chipLayer struct {
 	// Attention shards: this chip's query-head block, K/V per variant,
 	// and the matching WO row block.
 	wq, wk, wv, wo weight
+	// Streamed-mode per-chunk weight blocks (built only under
+	// Options.Streamed): wUpBlk/wGateBlk index the gather chunk a block
+	// contracts against (row blocks, zero-copy views); wDownBlk indexes
+	// the 1D layout's output chunk (column-block copies) or the 2D
+	// layout's X-gather chunk (row blocks).
+	wUpBlk, wGateBlk, wDownBlk []weight
 }
 
 // chipState is everything one chip owns.
@@ -318,6 +413,17 @@ func (e *Engine) Int8KV() bool { return e.opts.Int8KV }
 // int8 payloads.
 func (e *Engine) Int8Wire() bool { return e.opts.Int8Wire }
 
+// Streamed reports whether the session fuses FFN compute into the
+// collective chunk stream (Options.Streamed).
+func (e *Engine) Streamed() bool { return e.opts.Streamed }
+
+// MeasuredOverlap is the mesh's observed compute-communication overlap
+// fraction across the session's streamed collectives so far: the share of
+// streamed-collective wall time spent in chunk consumers rather than
+// blocked on the wire (0 until a streamed pass has run). It is the
+// functional counterpart of perf.Knobs.OverlapFrac.
+func (e *Engine) MeasuredOverlap() float64 { return e.m.MeasuredOverlapFrac() }
+
 // Batch returns the session batch size.
 func (e *Engine) Batch() int { return e.batch }
 
@@ -414,6 +520,15 @@ func (e *Engine) buildChip(w *reference.Weights, rank int) *chipState {
 			}
 			cl.wUp = shardWeight(lw.WUp, nil, fCols, int8w)
 			cl.wDown = shardWeight(lw.WDown, fCols, nil, int8w)
+			if e.opts.Streamed && n > 1 {
+				// Gather chunk r carries E-block r; RS output chunk j is
+				// E-column block j of the down projection.
+				cl.wUpBlk = rowBlocks(cl.wUp, n, eBlock)
+				if lw.WGate != nil {
+					cl.wGateBlk = rowBlocks(cl.wGate, n, eBlock)
+				}
+				cl.wDownBlk = colBlocks(cl.wDown, n, eBlock)
+			}
 		case partition.FFN2DWeightStationary:
 			stripe := e.eStripe(rank)
 			fPerYZ := cfg.DFF / yz
@@ -423,6 +538,16 @@ func (e *Engine) buildChip(w *reference.Weights, rank int) *chipState {
 			}
 			cl.wUp = shardWeight(lw.WUp, stripe, fCols, int8w)
 			cl.wDown = shardWeight(lw.WDown, fCols, stripe, int8w)
+			if e.opts.Streamed && n > 1 {
+				// YZ-gather chunk j is stripe row block j (eStripe order
+				// matches the yz-group gather order); X-gather chunk jx is
+				// F-row block jx of the down shard.
+				cl.wUpBlk = rowBlocks(cl.wUp, yz, eBlock)
+				if lw.WGate != nil {
+					cl.wGateBlk = rowBlocks(cl.wGate, yz, eBlock)
+				}
+				cl.wDownBlk = rowBlocks(cl.wDown, t.X, cfg.DFF/(yz*t.X))
+			}
 		}
 
 		// Attention shards: query heads split over all chips.

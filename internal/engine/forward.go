@@ -229,8 +229,14 @@ func (e *Engine) batchShardedCache() bool {
 func (e *Engine) ffnBlock(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat) *tensor.Mat {
 	switch e.opts.FFN {
 	case partition.FFN1DWeightStationary:
+		if e.streamFFN() {
+			return e.ffn1DStreamed(c, st, cl, h)
+		}
 		return e.ffn1D(c, st, cl, h)
 	case partition.FFN2DWeightStationary:
+		if e.streamFFN() {
+			return e.ffn2DStreamed(c, st, cl, h)
+		}
 		return e.ffn2D(c, st, cl, h)
 	}
 	panic("engine: unsupported FFN layout")

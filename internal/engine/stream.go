@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"esti/internal/collective"
+	"esti/internal/hardware"
+	"esti/internal/mesh"
+	"esti/internal/model"
+	"esti/internal/tensor"
+)
+
+// This file is the engine's Looped CollectiveEinsum path (Options.Streamed,
+// Section 3.5): the FFN's matmuls run one contraction- or output-chunk at a
+// time inside the streaming collectives' callbacks, so each chunk's GEMM
+// slice — still the blocked, worker-pool-parallel kernels — executes while
+// the ring relays the next chunk. Gather-side chunks fold into running
+// accumulators with mulAcc (summation order across chunks differs from the
+// barrier path's single full-width GEMM, hence token-exact rather than
+// bit-exact); reduce-scatter-side chunks are produced on demand, each the
+// bit-exact column block of the barrier path's full product.
+
+// streamFFN reports whether this pass's FFN should take the streamed path:
+// single-chip meshes have nothing to overlap and keep the allocation-free
+// barrier path.
+func (e *Engine) streamFFN() bool { return e.opts.Streamed && e.m.Chips() > 1 }
+
+// ffn1DStreamed is ffn1D with both collectives streamed: the input
+// all-gather's chunks fold W_up/W_gate row-block products into F-block
+// accumulators as they arrive, and the down-projection runs inside the
+// output reduce-scatter's producer — chunk j of the transposed partial sum
+// (the E-column block j of act·W_down, transposed) is computed just before
+// the ring sends or folds it.
+func (e *Engine) ffn1DStreamed(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat) *tensor.Mat {
+	ar := &st.arena
+	n := e.m.Chips()
+	tokens := h.Rows
+	eChunk := h.Cols
+	fBlock := e.cfg.DFF / n
+
+	up := ar.Mat(tokens, fBlock)
+	up.Zero()
+	var gate *tensor.Mat
+	if e.cfg.FFNKind == model.SwiGLU {
+		gate = ar.Mat(tokens, fBlock)
+		gate.Zero()
+	}
+	full := collective.AllGatherStream(st.op(c), hardware.GroupXYZ, h.Data,
+		func(idx int, chunk []float32) {
+			cm := tensor.Mat{Rows: tokens, Cols: eChunk, Data: chunk}
+			cl.wUpBlk[idx].mulAcc(up, &cm)
+			if gate != nil {
+				cl.wGateBlk[idx].mulAcc(gate, &cm)
+			}
+		})
+	c.Recycle(full)
+	cl.wUp.finishAcc(up)
+
+	var act *tensor.Mat
+	if gate != nil {
+		cl.wGate.finishAcc(gate)
+		tensor.SiLUFast(gate)
+		act = tensor.MulInto(gate, gate, up)
+	} else {
+		tensor.GELU(up)
+		act = up
+	}
+
+	// Fused down-projection + reduce-scatter over the E dimension.
+	eBlock := e.cfg.DModel / n
+	tr := ar.Mat(e.cfg.DModel, tokens) // transposed partial, produced per chunk
+	tmp := ar.Mat(tokens, eBlock)
+	shard := collective.ReduceScatterStream(st.op(c), hardware.GroupXYZ, tr.Data,
+		func(j int, chunk []float32) {
+			cl.wDownBlk[j].mulInto(tmp, act)
+			cv := tensor.Mat{Rows: eBlock, Cols: tokens, Data: chunk}
+			tensor.TransposeInto(&cv, tmp)
+		})
+	shMat := tensor.Mat{Rows: eBlock, Cols: tokens, Data: shard}
+	out := tensor.TransposeInto(ar.Mat(tokens, eBlock), &shMat)
+	c.Recycle(shard)
+	return out
+}
+
+// ffn2DStreamed is ffn2D with every gather streamed: the YZ gather's chunks
+// fold W_up/W_gate stripe-row-block products into F/YZ accumulators, the X
+// gather's chunks fold W_down row-block products into the E/X accumulator,
+// and the column reduce-scatters stream their input transposes
+// (rsColsStream). The collective sequence — and so the op-id consumption —
+// matches ffn2D call for call.
+func (e *Engine) ffn2DStreamed(c *mesh.Chip, st *chipState, cl *chipLayer, h *tensor.Mat) *tensor.Mat {
+	ar := &st.arena
+	t := e.torus
+	yzGroup := hardware.GroupYZ
+	xGroup := hardware.GroupX
+	yzSize := t.Y * t.Z
+	tokens := h.Rows
+	eChunk := h.Cols
+	fPerYZ := e.cfg.DFF / yzSize
+
+	up := ar.Mat(tokens, fPerYZ)
+	up.Zero()
+	var gate *tensor.Mat
+	if e.cfg.FFNKind == model.SwiGLU {
+		gate = ar.Mat(tokens, fPerYZ)
+		gate.Zero()
+	}
+	full := collective.AllGatherStream(st.op(c), yzGroup, h.Data,
+		func(j int, chunk []float32) {
+			cm := tensor.Mat{Rows: tokens, Cols: eChunk, Data: chunk}
+			cl.wUpBlk[j].mulAcc(up, &cm)
+			if gate != nil {
+				cl.wGateBlk[j].mulAcc(gate, &cm)
+			}
+		})
+	c.Recycle(full)
+	cl.wUp.finishAcc(up)
+	upShard := rsColsStream(ar, st.op(c), xGroup, up, t.X) // [tokens, F/(X·YZ)]
+
+	var actShard *tensor.Mat
+	if gate != nil {
+		cl.wGate.finishAcc(gate)
+		gateShard := rsColsStream(ar, st.op(c), xGroup, gate, t.X)
+		tensor.SiLUFast(gateShard)
+		actShard = tensor.MulInto(gateShard, gateShard, upShard)
+	} else {
+		tensor.GELU(upShard)
+		actShard = upShard
+	}
+
+	fSub := actShard.Cols
+	eX := cl.wDown.cols()
+	down := ar.Mat(tokens, eX) // [tokens, E/X] accumulator
+	down.Zero()
+	fullAct := collective.AllGatherStream(st.op(c), xGroup, actShard.Data,
+		func(jx int, chunk []float32) {
+			cm := tensor.Mat{Rows: tokens, Cols: fSub, Data: chunk}
+			cl.wDownBlk[jx].mulAcc(down, &cm)
+		})
+	c.Recycle(fullAct)
+	cl.wDown.finishAcc(down)
+	return rsColsStream(ar, st.op(c), yzGroup, down, yzSize)
+}
+
+// cols is the weight shard's output width in either storage format.
+func (w weight) cols() int {
+	if w.q != nil {
+		return w.q.Cols
+	}
+	return w.f.Cols
+}
+
+// rsColsStream is rsCols with the input transpose folded into the ring:
+// each chunk of the transposed partial — a column block of m — is
+// transposed into the reduce-scatter workspace just before the ring sends
+// or folds it, instead of transposing the whole matrix up front. Values on
+// the wire are identical to rsCols (transposition is pure data movement),
+// so the result is bit-identical. Group-of-one returns m, like rsCols.
+func rsColsStream(ar *tensor.Arena, o collective.Op, g hardware.AxisGroup, m *tensor.Mat, size int) *tensor.Mat {
+	if size == 1 {
+		return m
+	}
+	rowsPer := m.Cols / size
+	tr := ar.Mat(m.Cols, m.Rows)
+	md, cols := m.Data, m.Cols
+	shard := collective.ReduceScatterStream(o, g, tr.Data,
+		func(j int, chunk []float32) {
+			// Row i of the chunk is column j·rowsPer+i of m.
+			for i := 0; i < rowsPer; i++ {
+				cc := j*rowsPer + i
+				dst := chunk[i*m.Rows : (i+1)*m.Rows]
+				for r := range dst {
+					dst[r] = md[r*cols+cc]
+				}
+			}
+		})
+	shMat := tensor.Mat{Rows: rowsPer, Cols: m.Rows, Data: shard}
+	out := tensor.TransposeInto(ar.Mat(m.Rows, rowsPer), &shMat)
+	o.Chip.Recycle(shard)
+	return out
+}

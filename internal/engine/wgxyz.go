@@ -96,20 +96,35 @@ func (e *Engine) gatherLayer(c *mesh.Chip, st *chipState, ws *wgLayerShards) gat
 	headsPC := cfg.Heads / n
 
 	var g gathered
+	// gatherScatter runs the layer-staging all-gather, handing each rank's
+	// chunk to place. Under Options.Streamed the placement copies ride the
+	// chunk stream (AllGatherStream) — each rank's scatter-copy runs while
+	// the next chunk relays — which is bit-identical to the barrier gather
+	// since placement is pure data movement.
+	gatherScatter := func(flat []float32, place func(r int, chunk []float32)) {
+		if e.opts.Streamed {
+			all := collective.AllGatherStream(st.op(c), hardware.GroupXYZ, flat, place)
+			c.Recycle(all)
+			return
+		}
+		all := collective.AllGather(st.op(c), hardware.GroupXYZ, flat)
+		per := len(flat)
+		for r := 0; r < n; r++ {
+			place(r, all[r*per:(r+1)*per])
+		}
+		c.Recycle(all)
+	}
 	// 2D-stored FFN shards: rank r holds rows eStripe(r) × cols of its yz
 	// block; reassemble by scattering each rank's chunk.
 	assemble2D := func(flat []float32, transposed bool) *tensor.Mat {
-		all := collective.AllGather(st.op(c), hardware.GroupXYZ, flat)
 		rows, cols := cfg.DModel, cfg.DFF
 		if transposed {
 			rows, cols = cfg.DFF, cfg.DModel
 		}
 		full := tensor.New(rows, cols)
-		per := len(flat)
-		for r := 0; r < n; r++ {
+		gatherScatter(flat, func(r int, chunk []float32) {
 			stripe := e.eStripe(r)
 			fLo := (r / t.X) * fPerYZ
-			chunk := all[r*per : (r+1)*per]
 			if !transposed {
 				// chunk is [len(stripe), fPerYZ] row-major.
 				for i, eIdx := range stripe {
@@ -124,8 +139,7 @@ func (e *Engine) gatherLayer(c *mesh.Chip, st *chipState, ws *wgLayerShards) gat
 					}
 				}
 			}
-		}
-		c.Recycle(all)
+		})
 		return full
 	}
 	if ws.gate != nil {
@@ -136,15 +150,12 @@ func (e *Engine) gatherLayer(c *mesh.Chip, st *chipState, ws *wgLayerShards) gat
 
 	// Column-block shards (W_Q): rank r holds contiguous head columns.
 	gatherCols := func(flat []float32, rows, colsPC int) *tensor.Mat {
-		all := collective.AllGather(st.op(c), hardware.GroupXYZ, flat)
 		full := tensor.New(rows, colsPC*n)
-		for r := 0; r < n; r++ {
-			chunk := all[r*len(flat) : (r+1)*len(flat)]
+		gatherScatter(flat, func(r int, chunk []float32) {
 			for i := 0; i < rows; i++ {
 				copy(full.Row(i)[r*colsPC:(r+1)*colsPC], chunk[i*colsPC:(i+1)*colsPC])
 			}
-		}
-		c.Recycle(all)
+		})
 		return full
 	}
 	// Row-block shards (W_K, W_V, W_O): contiguous rows per rank, so the

@@ -21,6 +21,7 @@ package mesh
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"esti/internal/hardware"
 )
@@ -136,13 +137,49 @@ func (m *Mesh) MessagesSent() int64 {
 	return total
 }
 
-// ResetCounters zeroes the per-chip traffic counters.
+// ResetCounters zeroes the per-chip traffic and overlap counters.
 func (m *Mesh) ResetCounters() {
 	for _, c := range m.chips {
 		c.bytesSent = 0
 		c.bytesSent8 = 0
 		c.msgsSent = 0
+		c.overlapWaitNS = 0
+		c.overlapWorkNS = 0
 	}
+}
+
+// OverlapWaitNS is the total time chips spent blocked in receives inside
+// streamed-collective windows, and OverlapWorkNS the total time their
+// consumer callbacks computed there (same read contract as BytesSent).
+func (m *Mesh) OverlapWaitNS() int64 {
+	var total int64
+	for _, c := range m.chips {
+		total += c.overlapWaitNS
+	}
+	return total
+}
+
+// OverlapWorkNS is the consumer-compute half of the overlap counters; see
+// OverlapWaitNS.
+func (m *Mesh) OverlapWorkNS() int64 {
+	var total int64
+	for _, c := range m.chips {
+		total += c.overlapWorkNS
+	}
+	return total
+}
+
+// MeasuredOverlapFrac is the fraction of streamed-collective wall time the
+// chips spent computing rather than waiting on the wire:
+// work / (work + wait), or 0 before any streamed op has run. 1.0 means the
+// chunk-stream consumers fully hid the transfer time behind compute; the
+// analytic counterpart is perf.Knobs.OverlapFrac.
+func (m *Mesh) MeasuredOverlapFrac() float64 {
+	work, wait := m.OverlapWorkNS(), m.OverlapWaitNS()
+	if work == 0 {
+		return 0
+	}
+	return float64(work) / float64(work+wait)
 }
 
 // Run executes fn on every chip concurrently (SPMD) and waits for all chips
@@ -198,6 +235,15 @@ type Chip struct {
 	bytesSent  int64 // true wire bytes, all formats (chip-goroutine only)
 	bytesSent8 int64 // int8 portion of bytesSent
 	msgsSent   int64
+
+	// Overlap instrumentation for the streamed collectives (package
+	// collective). While a streamed op's window is open (BeginOverlapOp),
+	// blocked-receive time accrues to overlapWaitNS and consumer-callback
+	// time (NoteOverlapWork) to overlapWorkNS; their ratio is the measured
+	// overlap fraction. Chip-goroutine only, like the traffic counters.
+	overlapOpen   bool
+	overlapWaitNS int64
+	overlapWorkNS int64
 
 	// Message buffer free lists, bucketed by power-of-two capacity. An
 	// SPMD step sends the same message sizes every iteration, so
@@ -356,7 +402,7 @@ func (c *Chip) deliver8(dst int, tag uint64, payload []int8, scale float32) {
 // a program error for the matching message to be an int8 payload — the
 // SPMD program knows each tag's wire format.
 func (c *Chip) Recv(src int, tag uint64) []float32 {
-	m := c.inbox.take(src, tag)
+	m := c.take(src, tag)
 	if m.Data8 != nil {
 		panic(fmt.Sprintf("mesh: int8 message (src %d, tag %#x) received as float32", src, tag))
 	}
@@ -366,12 +412,36 @@ func (c *Chip) Recv(src int, tag uint64) []float32 {
 // Recv8 blocks until an int8 message with the given source and tag arrives
 // and returns its payload and chunk scale.
 func (c *Chip) Recv8(src int, tag uint64) ([]int8, float32) {
-	m := c.inbox.take(src, tag)
+	m := c.take(src, tag)
 	if m.Data != nil {
 		panic(fmt.Sprintf("mesh: float32 message (src %d, tag %#x) received as int8", src, tag))
 	}
 	return m.Data8, m.Scale
 }
+
+// take receives with overlap accounting: inside a streamed-collective
+// window, blocked time counts toward the chip's overlap wait.
+func (c *Chip) take(src int, tag uint64) Message {
+	if !c.overlapOpen {
+		return c.inbox.take(src, tag)
+	}
+	start := time.Now()
+	m := c.inbox.take(src, tag)
+	c.overlapWaitNS += time.Since(start).Nanoseconds()
+	return m
+}
+
+// BeginOverlapOp opens a streamed-collective window: until EndOverlapOp,
+// this chip's blocked-receive time accrues to the overlap wait counter.
+// Must bracket exactly one streamed collective; windows do not nest.
+func (c *Chip) BeginOverlapOp() { c.overlapOpen = true }
+
+// EndOverlapOp closes the window opened by BeginOverlapOp.
+func (c *Chip) EndOverlapOp() { c.overlapOpen = false }
+
+// NoteOverlapWork credits consumer-callback compute time to the overlap
+// counters (called by the streamed collectives around each chunk handoff).
+func (c *Chip) NoteOverlapWork(d time.Duration) { c.overlapWorkNS += d.Nanoseconds() }
 
 // groupInfo caches a chip's view of one axis group: its rank, the group
 // size, and the mesh rank of every group member. Groups are the handful of

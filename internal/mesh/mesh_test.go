@@ -3,6 +3,7 @@ package mesh
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"esti/internal/hardware"
 )
@@ -250,5 +251,50 @@ func TestBuffer8PoolReuse(t *testing.T) {
 	b2 := c.Buffer8(100)
 	if &b2[0] != &b[0] {
 		t.Error("Buffer8 did not reuse the recycled buffer")
+	}
+}
+
+// The overlap counters: receive-blocking time is attributed only inside a
+// Begin/EndOverlapOp window, consumer work only via NoteOverlapWork, the
+// derived fraction is work/(work+wait) in [0, 1] (0 before any streamed
+// op), and ResetCounters clears both.
+func TestOverlapCounters(t *testing.T) {
+	m := New(hardware.Torus{X: 2, Y: 1, Z: 1})
+	if m.MeasuredOverlapFrac() != 0 {
+		t.Error("fresh mesh should measure zero overlap")
+	}
+	m.Run(func(c *Chip) {
+		peer := 1 - c.Rank
+		// Outside a window: blocked receives do not count as overlap wait.
+		c.Send(peer, 1, []float32{1})
+		c.Recv(peer, 1)
+	})
+	if m.OverlapWaitNS() != 0 || m.OverlapWorkNS() != 0 {
+		t.Fatalf("counters moved outside an overlap window: wait %d, work %d",
+			m.OverlapWaitNS(), m.OverlapWorkNS())
+	}
+	m.Run(func(c *Chip) {
+		peer := 1 - c.Rank
+		c.BeginOverlapOp()
+		defer c.EndOverlapOp()
+		if c.Rank == 0 {
+			time.Sleep(2 * time.Millisecond) // make chip 1 block in its receive
+		}
+		c.Send(peer, 2, []float32{1})
+		c.Recv(peer, 2)
+		c.NoteOverlapWork(time.Millisecond)
+	})
+	if m.OverlapWaitNS() <= 0 {
+		t.Error("blocked in-window receive recorded no overlap wait")
+	}
+	if want := 2 * time.Millisecond.Nanoseconds(); m.OverlapWorkNS() != want {
+		t.Errorf("overlap work %d ns, want %d", m.OverlapWorkNS(), want)
+	}
+	if f := m.MeasuredOverlapFrac(); f <= 0 || f > 1 {
+		t.Errorf("measured overlap fraction %g outside (0, 1]", f)
+	}
+	m.ResetCounters()
+	if m.OverlapWaitNS() != 0 || m.OverlapWorkNS() != 0 || m.MeasuredOverlapFrac() != 0 {
+		t.Error("ResetCounters did not clear overlap counters")
 	}
 }

@@ -16,6 +16,16 @@
 // anchors (Tables 2-3 and D.2-D.4); EXPERIMENTS.md records the residuals.
 // Communication uses the closed forms in package commcost; weight and
 // KV-cache memory time use HBM bandwidth directly.
+//
+// The comm term splits into a bandwidth component and a latency floor:
+// bytes-over-bandwidth per collective (which Looped-CollectiveEinsum
+// overlap, Knobs.OverlapFrac, can hide behind compute) plus
+// collectiveHops × HopLatency of serial ring-step latency (which no
+// overlap can hide — each step's link traversal is on the critical path).
+// Breakdown.CommFloor reports the floor inside Breakdown.Comm; at high
+// chip counts and small batches the floor dominates, which is why decode
+// latency stops improving with more chips and why wire-format savings
+// (int8 vs bf16) pin to ~1x there.
 package perf
 
 import (
@@ -42,10 +52,16 @@ type Knobs struct {
 	// (small batched matmuls; decode attention is memory-bound anyway).
 	AttnEff float64
 	// OverlapFrac is the fraction of per-layer matmul time that can hide
-	// communication (Looped CollectiveEinsum, Section 3.5). The published
-	// MFU anchors already absorb the overlap the authors achieved, so the
-	// calibrated default is 0 (communication fully exposed on top of the
-	// calibrated compute time); raise it to ablate.
+	// communication (Looped CollectiveEinsum, Section 3.5). Overlap
+	// applies only to the bandwidth component of the comm term: the
+	// hop-latency floor (collectiveHops × HopLatency) is charged
+	// unconditionally, because chunk-streamed compute hides bytes in
+	// flight but cannot remove the serial link traversals of the ring.
+	// The functional counterpart is mesh.MeasuredOverlapFrac on a
+	// Streamed engine session. The published MFU anchors already absorb
+	// the overlap the authors achieved, so the calibrated default is 0
+	// (communication fully exposed on top of the calibrated compute
+	// time); raise it to ablate.
 	OverlapFrac float64
 	// PerLayerFixed is a constant per-layer overhead in seconds
 	// (layernorms, residual adds, dispatch).
@@ -161,7 +177,14 @@ type Breakdown struct {
 	Compute   float64 // matmul time (efficiency-adjusted)
 	WeightMem float64 // weight HBM traffic time
 	KVMem     float64 // KV-cache HBM traffic time
-	Comm      float64 // exposed interconnect time
+	Comm      float64 // exposed interconnect time (bandwidth + hop floor)
+	// CommFloor is the serial hop-latency portion of Comm — the
+	// collectiveHops × HopLatency term no compute overlap can hide (one
+	// link traversal per ring step on the critical path). Comm - CommFloor
+	// is the exposed bandwidth component, the only part OverlapFrac
+	// shrinks. Informational: CommFloor is already inside Comm, so Total
+	// does not add it again.
+	CommFloor float64
 	Fixed     float64 // per-layer constant overheads
 }
 
@@ -175,6 +198,7 @@ func (b *Breakdown) add(o Breakdown) {
 	b.WeightMem += o.WeightMem
 	b.KVMem += o.KVMem
 	b.Comm += o.Comm
+	b.CommFloor += o.CommFloor
 	b.Fixed += o.Fixed
 }
 
@@ -184,6 +208,7 @@ func (b Breakdown) scale(f float64) Breakdown {
 		WeightMem: b.WeightMem * f,
 		KVMem:     b.KVMem * f,
 		Comm:      b.Comm * f,
+		CommFloor: b.CommFloor * f,
 		Fixed:     b.Fixed * f,
 	}
 }
@@ -336,15 +361,25 @@ func layerStep(r Request, k Knobs, plan partition.FFNPlan, attn partition.AttnPl
 	if phase == PhaseDecode {
 		comm += commcost.Time(commcost.AttnAllToAllBytes(attn, tokens, c.HeadDim, actBytes), sys.Chip.NetworkBandwidth)
 	}
+	// Looped CollectiveEinsum (Section 3.5) hides up to OverlapFrac of
+	// compute time — but only from the bandwidth component above: chunking
+	// the matmul into the ring schedule streams bytes behind compute, yet
+	// every ring step's link traversal stays serial on the critical path.
+	// The hop-latency floor is therefore charged unconditionally, never
+	// reduced by overlap. (An earlier form subtracted the overlap from the
+	// combined term, letting OverlapFrac ≈ 1 erase the floor entirely and
+	// report zero comm — the mis-pricing behind the former 0.92x 64-chip
+	// int8-wire decode ratio; the hop-floor regression test pins the fix.)
+	exposed := comm - k.OverlapFrac*b.Compute
+	if exposed < 0 {
+		exposed = 0
+	}
 	// Fixed per-step latency of the ring collectives: bandwidth terms
 	// shrink with more chips, but step counts grow, flooring the minimum
 	// latency at high chip counts.
-	comm += float64(collectiveHops(plan, attn, phase)) * k.HopLatency
-	// Looped CollectiveEinsum hides up to OverlapFrac of compute time.
-	exposed := comm - k.OverlapFrac*b.Compute
-	if exposed > 0 {
-		b.Comm = exposed
-	}
+	floor := float64(collectiveHops(plan, attn, phase)) * k.HopLatency
+	b.Comm = exposed + floor
+	b.CommFloor = floor
 
 	b.Fixed = k.PerLayerFixed
 	return b

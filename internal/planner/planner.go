@@ -36,6 +36,22 @@ type Workload struct {
 	// KV is the KV-cache storage format (BF16 default; Int8 halves cache
 	// bytes, moving the OOM feasibility boundary the planner prunes on).
 	KV model.DType
+	// Overlap, when positive, overrides perf.Knobs.OverlapFrac for
+	// candidate costing: the fraction of each candidate's *bandwidth*
+	// communication component hidden under compute. The serial
+	// hop-latency floor is charged regardless (see package perf), so
+	// even Overlap=1 cannot make a latency-bound layout look free —
+	// which keeps the planner honest at small batch where the floor
+	// dominates.
+	Overlap float64
+}
+
+// knobs applies the workload's overlap override to the caller's knobs.
+func (w Workload) knobs(k perf.Knobs) perf.Knobs {
+	if w.Overlap > 0 {
+		k.OverlapFrac = w.Overlap
+	}
+	return k
 }
 
 // Objective selects what the planner minimizes.
@@ -102,6 +118,7 @@ func pick(obj Objective, r perf.Result) float64 {
 func ChoosePrefill(cfg model.Config, sys hardware.System, dt model.DType,
 	w Workload, obj Objective, k perf.Knobs) (Choice, bool) {
 
+	k = w.knobs(k)
 	best := Choice{}
 	bestVal := math.Inf(1)
 	found := false
@@ -130,6 +147,7 @@ func ChoosePrefill(cfg model.Config, sys hardware.System, dt model.DType,
 func ChooseDecode(cfg model.Config, sys hardware.System, dt model.DType,
 	w Workload, obj Objective, k perf.Knobs) (Choice, bool) {
 
+	k = w.knobs(k)
 	best := Choice{}
 	bestVal := math.Inf(1)
 	found := false

@@ -126,6 +126,46 @@ func MatMulInto(dst, a *tensor.Mat, q *Int8Mat) *tensor.Mat {
 	return dst
 }
 
+// MatMulAccRawInto accumulates the unscaled product into dst: dst +=
+// a·int8(q), with no column scales applied. It exists for the streamed
+// collectives' contraction-chunked matmuls: row blocks of q (views sharing
+// one Scales array) arrive one chunk at a time, each folds its raw partial
+// product into dst, and the caller applies ScaleColumns once after the
+// last chunk — the same single scale application as the unsharded kernel.
+// dst must already have shape [a.Rows, q.Cols]; it must not alias a.
+func MatMulAccRawInto(dst, a *tensor.Mat, q *Int8Mat) *tensor.Mat {
+	if a.Cols != q.Rows {
+		panic(fmt.Sprintf("quant: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, q.Rows, q.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != q.Cols {
+		panic(fmt.Sprintf("quant: matmul-acc dst %dx%d for %dx%d result", dst.Rows, dst.Cols, a.Rows, q.Cols))
+	}
+	if !tensor.ShouldParallel(a.Rows, a.Rows*a.Cols*q.Cols) {
+		matMulRowsAccRaw(dst, a, q, 0, a.Rows)
+		return dst
+	}
+	dv, av := *dst, *a
+	tensor.ParallelRows(a.Rows, a.Rows*a.Cols*q.Cols, func(lo, hi int) {
+		matMulRowsAccRaw(&dv, &av, q, lo, hi)
+	})
+	return dst
+}
+
+// ScaleColumns applies per-column scales in place: m[i][j] *= scales[j].
+// It finishes a MatMulAccRawInto accumulation.
+func ScaleColumns(m *tensor.Mat, scales []float32) {
+	if len(scales) < m.Cols {
+		panic(fmt.Sprintf("quant: %d scales for %d columns", len(scales), m.Cols))
+	}
+	s := scales[:m.Cols]
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] *= s[j]
+		}
+	}
+}
+
 func matMulRows(dst, a *tensor.Mat, q *Int8Mat, lo, hi int) {
 	k, n := a.Cols, q.Cols
 	ad, qd, od := a.Data, q.Data, dst.Data
@@ -165,6 +205,44 @@ func matMulRows(dst, a *tensor.Mat, q *Int8Mat, lo, hi int) {
 		}
 		for j := range orow {
 			orow[j] *= scales[j]
+		}
+	}
+}
+
+// matMulRowsAccRaw is matMulRows without the clear and without the final
+// scale multiply: raw int8 products accumulate into the existing dst rows.
+func matMulRowsAccRaw(dst, a *tensor.Mat, q *Int8Mat, lo, hi int) {
+	k, n := a.Cols, q.Cols
+	ad, qd, od := a.Data, q.Data, dst.Data
+	if n == 0 {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : i*k+k]
+		orow := od[i*n : i*n+n]
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			q0 := qd[kk*n : kk*n+n][:n]
+			q1 := qd[(kk+1)*n : (kk+1)*n+n][:n]
+			q2 := qd[(kk+2)*n : (kk+2)*n+n][:n]
+			q3 := qd[(kk+3)*n : (kk+3)*n+n][:n]
+			for j := range orow {
+				orow[j] += a0*float32(q0[j]) + a1*float32(q1[j]) + a2*float32(q2[j]) + a3*float32(q3[j])
+			}
+		}
+		for ; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			qrow := qd[kk*n : kk*n+n][:n]
+			for j := range orow {
+				orow[j] += av * float32(qrow[j])
+			}
 		}
 	}
 }

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"esti/internal/model"
+	"esti/internal/partition"
+	"esti/internal/perf"
+)
+
+// Analyze surfaces the perf model's bandwidth-vs-hop-floor comm split per
+// tier: the prefill fields are the batch's phase totals, the decode fields
+// are per step (phase comm over Gen), and the floors are subsets that
+// survive full overlap.
+func TestAnalyzeReportsCommSplit(t *testing.T) {
+	c := paperConfig()
+	m, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PrefillComm <= 0 || m.DecodeStepComm <= 0 {
+		t.Fatalf("comm fields not populated: prefill %g, decode %g", m.PrefillComm, m.DecodeStepComm)
+	}
+	if m.PrefillCommFloor <= 0 || m.PrefillCommFloor > m.PrefillComm {
+		t.Errorf("prefill floor %g outside (0, comm %g]", m.PrefillCommFloor, m.PrefillComm)
+	}
+	if m.DecodeStepCommFloor <= 0 || m.DecodeStepCommFloor > m.DecodeStepComm {
+		t.Errorf("decode floor %g outside (0, comm %g]", m.DecodeStepCommFloor, m.DecodeStepComm)
+	}
+
+	// Cross-check against the perf model directly.
+	dec := perf.Decode(perf.Request{
+		Model: c.Model, System: c.Decode.System, Weights: c.Weights,
+		FFN: c.Decode.FFN, Attn: c.Decode.Attn,
+		Batch: c.Decode.Batch, Context: c.Context, Gen: c.Gen,
+	}, c.Knobs)
+	if want := dec.Breakdown.Comm / float64(c.Gen); math.Abs(m.DecodeStepComm-want)/want > 1e-12 {
+		t.Errorf("DecodeStepComm %g, want phase comm / Gen = %g", m.DecodeStepComm, want)
+	}
+
+	// Under full overlap the per-step comm pins to the per-step floor, and
+	// the floor itself is overlap-invariant.
+	ov := c
+	ov.Knobs.OverlapFrac = 1.0
+	mo, err := Analyze(ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mo.DecodeStepComm-mo.DecodeStepCommFloor)/mo.DecodeStepCommFloor > 1e-9 {
+		t.Errorf("full overlap: decode comm %g should pin to floor %g",
+			mo.DecodeStepComm, mo.DecodeStepCommFloor)
+	}
+	if math.Abs(mo.DecodeStepCommFloor-m.DecodeStepCommFloor)/m.DecodeStepCommFloor > 1e-9 {
+		t.Errorf("floor changed with overlap: %g vs %g", mo.DecodeStepCommFloor, m.DecodeStepCommFloor)
+	}
+	if mo.DecodeStepComm > m.DecodeStepComm+1e-15 {
+		t.Errorf("overlap increased decode comm: %g vs %g", mo.DecodeStepComm, m.DecodeStepComm)
+	}
+}
+
+// At full overlap the int8 wire buys nothing per decode step on the
+// latency-bound small-batch tier — both formats wait on the same hops — so
+// the serve-level comm report shows the same pinned value.
+func TestAnalyzeOverlapPinsWireFormats(t *testing.T) {
+	c := paperConfig()
+	c.Decode.Batch = 8
+	c.Decode.Attn = partition.AttnShardBatch
+	c.Knobs.OverlapFrac = 1.0
+	base, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WireDType = model.Int8
+	q8, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q8.DecodeStepComm-base.DecodeStepComm)/base.DecodeStepComm > 1e-9 {
+		t.Errorf("at full overlap int8 wire should not change decode step comm: %g vs %g",
+			q8.DecodeStepComm, base.DecodeStepComm)
+	}
+}

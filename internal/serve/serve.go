@@ -72,6 +72,16 @@ type Metrics struct {
 	MinLatency float64
 	// CostPerToken is chip-seconds per generated token across both tiers.
 	CostPerToken float64
+	// PrefillComm and PrefillCommFloor are the prefill batch's exposed
+	// communication time and the serial hop-latency floor inside it
+	// (perf.Breakdown.Comm / .CommFloor): Comm - CommFloor is the
+	// bandwidth component, the only part Knobs.OverlapFrac can hide.
+	PrefillComm      float64
+	PrefillCommFloor float64
+	// DecodeStepComm and DecodeStepCommFloor are the same split per decode
+	// step (the decode phase's comm divided by Gen).
+	DecodeStepComm      float64
+	DecodeStepCommFloor float64
 }
 
 // Analyze computes steady-state pipeline metrics. The prefill tier is
@@ -98,11 +108,15 @@ func Analyze(c Config) (Metrics, error) {
 	}
 
 	m := Metrics{
-		PrefillService: pre.Time,
-		DecodeService:  dec.Time,
-		PrefillRate:    float64(c.Prefill.Batch) / pre.Time,
-		DecodeRate:     float64(c.Decode.Batch) / dec.Time,
-		MinLatency:     pre.Time + dec.Time,
+		PrefillService:      pre.Time,
+		DecodeService:       dec.Time,
+		PrefillRate:         float64(c.Prefill.Batch) / pre.Time,
+		DecodeRate:          float64(c.Decode.Batch) / dec.Time,
+		MinLatency:          pre.Time + dec.Time,
+		PrefillComm:         pre.Breakdown.Comm,
+		PrefillCommFloor:    pre.Breakdown.CommFloor,
+		DecodeStepComm:      dec.Breakdown.Comm / float64(c.Gen),
+		DecodeStepCommFloor: dec.Breakdown.CommFloor / float64(c.Gen),
 	}
 	m.Throughput = math.Min(m.PrefillRate, m.DecodeRate)
 	m.TokensPerSecond = m.Throughput * float64(c.Gen)

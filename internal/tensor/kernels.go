@@ -44,7 +44,7 @@ func MatMulInto(dst, a, b *Mat) *Mat {
 	}
 	dst.Reshape(a.Rows, b.Cols)
 	if !ShouldParallel(a.Rows, a.Rows*a.Cols*b.Cols) {
-		matMulRows(dst, a, b, 0, a.Rows)
+		matMulRows(dst, a, b, 0, a.Rows, false)
 		return dst
 	}
 	// Capture value copies (sharing the same backing arrays) so the
@@ -52,7 +52,32 @@ func MatMulInto(dst, a, b *Mat) *Mat {
 	// path above must stay allocation-free even for stack-allocated views.
 	dv, av, bv := *dst, *a, *b
 	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		matMulRows(&dv, &av, &bv, lo, hi)
+		matMulRows(&dv, &av, &bv, lo, hi, false)
+	})
+	return dst
+}
+
+// MatMulAccInto accumulates a·b into dst (dst += a·b) and returns dst.
+// Unlike MatMulInto, dst must already have shape [a.Rows, b.Cols] — its
+// existing contents are the accumulator, so no reshape and no clear. This
+// is the contraction-chunked form the streamed collectives drive: a
+// gathered activation arrives one K-chunk at a time and each chunk's
+// partial product folds into the running output while the next chunk is
+// still on the wire. dst must not alias a or b.
+func MatMulAccInto(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul-acc dst %dx%d for %dx%d result", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if !ShouldParallel(a.Rows, a.Rows*a.Cols*b.Cols) {
+		matMulRows(dst, a, b, 0, a.Rows, true)
+		return dst
+	}
+	dv, av, bv := *dst, *a, *b
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		matMulRows(&dv, &av, &bv, lo, hi, true)
 	})
 	return dst
 }
@@ -62,7 +87,10 @@ func MatMulInto(dst, a, b *Mat) *Mat {
 // 4 contraction steps so each pass over b's rows feeds eight accumulator
 // streams, with a skip for all-zero activation groups so zeroed rows —
 // inactive decode slots — cost almost nothing and stay exactly zero.
-func matMulRows(dst, a, b *Mat, lo, hi int) {
+// With acc, existing dst contents are accumulated into instead of cleared
+// (the MatMulAccInto form); per output element the contraction order is
+// identical either way.
+func matMulRows(dst, a, b *Mat, lo, hi int, acc bool) {
 	k, n := a.Cols, b.Cols
 	ad, bd, od := a.Data, b.Data, dst.Data
 	if n == 0 {
@@ -74,8 +102,10 @@ func matMulRows(dst, a, b *Mat, lo, hi int) {
 		arow1 := ad[(i+1)*k : (i+1)*k+k]
 		orow0 := od[i*n : i*n+n]
 		orow1 := od[(i+1)*n : (i+1)*n+n][:n]
-		clear(orow0)
-		clear(orow1)
+		if !acc {
+			clear(orow0)
+			clear(orow1)
+		}
 		kk := 0
 		for ; kk+4 <= k; kk += 4 {
 			a00, a01, a02, a03 := arow0[kk], arow0[kk+1], arow0[kk+2], arow0[kk+3]
@@ -109,7 +139,9 @@ func matMulRows(dst, a, b *Mat, lo, hi int) {
 	for ; i < hi; i++ {
 		arow := ad[i*k : i*k+k]
 		orow := od[i*n : i*n+n]
-		clear(orow)
+		if !acc {
+			clear(orow)
+		}
 		kk := 0
 		for ; kk+4 <= k; kk += 4 {
 			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
