@@ -16,6 +16,7 @@ import (
 	"esti/internal/batching"
 	"esti/internal/engine"
 	"esti/internal/experiments"
+	"esti/internal/fleet"
 	"esti/internal/ftdata"
 	"esti/internal/hardware"
 	"esti/internal/model"
@@ -271,6 +272,40 @@ func BenchmarkContinuousBatching(b *testing.B) {
 		}
 		if res.Completed != 200 {
 			b.Fatalf("completed %d/200", res.Completed)
+		}
+	}
+}
+
+// BenchmarkFleetRouting measures the multi-replica router replaying a
+// 400-request Zipf-template trace through 4 PaLM 540B replicas under
+// prefix-affinity routing — the fleet-scale serving path whose
+// affinity-vs-random win is asserted in internal/fleet's tests.
+func BenchmarkFleetRouting(b *testing.B) {
+	c := fleet.Config{
+		Replica: batching.Config{
+			Model:       model.PaLM540BPadded(),
+			Weights:     model.Int8,
+			System:      hardware.TPUv4Slice(4, 4, 4),
+			FFN:         partition.FFN2DWeightStationary,
+			Attn:        partition.AttnShardBatch,
+			Slots:       64,
+			MaxLen:      2048 + 256,
+			PrefixCache: true,
+			Knobs:       knobs(),
+		},
+		Replicas: 4,
+		Policy:   fleet.Affinity,
+	}
+	trace := batching.ZipfPrefixTrace(400, 0.02, 1024, 48, 1.3, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Simulate(c, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != 400 {
+			b.Fatalf("completed %d/400", res.Completed)
 		}
 	}
 }

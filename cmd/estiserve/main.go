@@ -63,6 +63,7 @@ import (
 	"strings"
 
 	"esti/internal/batching"
+	"esti/internal/fleet"
 	"esti/internal/hardware"
 	"esti/internal/model"
 	"esti/internal/partition"
@@ -94,6 +95,8 @@ func main() {
 	templates := flag.Int("templates", 3, "distinct prompt templates in the shared-prefix trace")
 	prefillChunk := flag.Int("prefill-chunk", 0, "continuous batching: prefill token budget per iteration (0 = whole prompt at admission)")
 	prefixHit := flag.Float64("prefix-hit", 0, "static pipeline: fraction of requests whose prefix-len tokens hit a shared-prefix cache")
+	replicas := flag.Int("replicas", 0, "fleet: run N replicas of the decode-tier slice behind a router over a Zipf-template trace (0 = off)")
+	disaggregated := flag.Bool("disaggregated", false, "fleet: split the replicas into prefill and decode pools with per-request KV handoff")
 	flag.Parse()
 
 	cfg, ok := modelByName(*modelName)
@@ -308,6 +311,66 @@ func main() {
 				fmt.Printf("  prefill chunk %d tokens/iteration: worst iteration %.3fs cached, %.3fs uncached\n",
 					*prefillChunk, cmp.Cached.MaxIterTime, cmp.Uncached.MaxIterTime)
 			}
+		}
+	}
+
+	if *replicas > 0 || *disaggregated {
+		n := *requests
+		if n < 2 {
+			n = 200
+		}
+		nRep := *replicas
+		if nRep < 2 {
+			nRep = 4
+		}
+		// Each replica is one decode-tier slice; the fleet-wide arrival rate
+		// scales the single-pipeline capacity by the replica count.
+		inter := 1 / (m.Throughput * *load * float64(nRep))
+		pl := *prefixLen
+		if pl > *context/2 {
+			pl = *context / 2
+		}
+		trace := batching.ZipfPrefixTrace(n, inter, pl, 4*nRep, 1.3, *seed)
+		rc := batching.Config{
+			Model:       cfg,
+			Weights:     dt,
+			KVDType:     kvDT,
+			WireDType:   wireDT,
+			System:      sc.Decode.System,
+			FFN:         partition.FFN2DWeightStationary,
+			Attn:        decodeAttn(cfg),
+			Slots:       *slots,
+			MaxLen:      trace.MaxContext() + trace.MaxGen(),
+			MaxAdmit:    *maxAdmit,
+			PrefixCache: true,
+			Knobs:       sc.Knobs,
+		}
+		fc := fleet.Config{Replica: rc, Replicas: nRep, Policy: fleet.Affinity, Seed: *seed}
+		if *disaggregated {
+			fc.Disaggregated = true
+			fc.PrefillReplicas = nRep / 2
+			fc.DecodeReplicas = nRep - nRep/2
+		}
+		cmp, err := fleet.CompareRouting(fc, trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		aff, rnd := cmp.Affinity, cmp.Random
+		shape := fmt.Sprintf("%d unified replicas", nRep)
+		if *disaggregated {
+			shape = fmt.Sprintf("%d prefill + %d decode replicas", fc.PrefillReplicas, fc.DecodeReplicas)
+		}
+		fmt.Printf("\nfleet: %s x %d chips, Zipf trace of %d requests (%d templates, %d-token prefixes):\n",
+			shape, sc.Decode.System.Chips(), n, 4*nRep, pl)
+		fmt.Printf("  affinity routing: %.1f tok/s, p50/p99 %.2fs/%.2fs, %.2f good tok/s/chip, %d/%d prefix-warm routes\n",
+			aff.GenTokensPerSec, aff.P50, aff.P99, aff.GoodputPerChip,
+			aff.AffinityHits, aff.AffinityHits+aff.AffinityMisses)
+		fmt.Printf("  random routing:   %.1f tok/s, p50/p99 %.2fs/%.2fs, %.2f good tok/s/chip (affinity %.2fx)\n",
+			rnd.GenTokensPerSec, rnd.P50, rnd.P99, rnd.GoodputPerChip, cmp.Speedup)
+		if *disaggregated {
+			fmt.Printf("  KV handoff: %d transfers, %.1f GB total (%.1f MB/request)\n",
+				aff.Handoffs, aff.HandoffBytes/1e9, aff.HandoffBytes/float64(aff.Handoffs)/1e6)
 		}
 	}
 }

@@ -15,6 +15,7 @@
 //   - internal/engine:   functional sharded execution on a simulated mesh
 //   - internal/serve:    static two-tier (prefill → decode) pipeline
 //   - internal/batching: iteration-level continuous batching
+//   - internal/fleet:    multi-replica router + disaggregated pools
 //   - internal/experiments: regeneration of every table and figure
 //
 // Quick start:
@@ -49,12 +50,24 @@
 // engine-level counterparts are engine.PrefillSlotFrom and
 // engine.PrefillSlotChunked, both token-exact against the cold path.
 //
+// Above a single replica, the fleet layer routes a request stream across N
+// replicas (prefix-affinity vs random vs least-loaded policies), optionally
+// splits them into disaggregated prefill and decode pools with per-request
+// KV handoff, and sheds work against per-request deadlines and priority
+// tiers (SimulateFleet / CompareRouting / ZipfPrefixTrace / WithSLO). The
+// executable counterpart is EnginePair: prefill on one engine, cache blocks
+// handed to a second engine, decode there, token-exact versus one engine
+// doing both phases.
+//
 // See examples/ for runnable scenarios (examples/continuousbatch for the
-// serving comparison) and cmd/estibench for the paper's tables and figures.
+// serving comparison, examples/fleet for multi-replica routing) and
+// cmd/estibench for the paper's tables and figures.
 package esti
 
 import (
 	"esti/internal/batching"
+	"esti/internal/engine"
+	"esti/internal/fleet"
 	"esti/internal/hardware"
 	"esti/internal/model"
 	"esti/internal/partition"
@@ -135,7 +148,7 @@ func MakePlan(cfg Model, sys System, dt DType, w Workload, k Knobs) Plan {
 // MaxContextKV returns the longest servable context under a per-chip KV
 // byte budget (a fraction of HBM) with the cache stored in the given
 // dtype — Table 1's calculation, where Int8 doubles every entry. Set
-// Request.KVDType (analytic) or engine Options.Int8KV (functional) to run
+// Request.KVDType (analytic) or engine Options.KVDType (functional) to run
 // with the quantized cache.
 func MaxContextKV(cfg Model, sys System, attn AttnLayout, batch int, kvBudget float64, kv DType) int {
 	return planner.MaxContextKV(cfg, sys, attn, batch, kvBudget, kv)
@@ -188,4 +201,70 @@ func SimulateContinuous(c ContinuousConfig, t RequestTrace) (ContinuousResult, e
 // static two-tier pipeline at equal total chip count.
 func CompareServing(c ContinuousConfig, t RequestTrace) (ServingComparison, error) {
 	return batching.CompareStatic(c, t)
+}
+
+// Fleet serving, re-exported.
+type (
+	// FleetConfig describes a fleet: one replica blueprint stamped N
+	// times, a routing policy, and optionally a disaggregated
+	// prefill/decode split.
+	FleetConfig = fleet.Config
+	// FleetResult summarizes a fleet simulation (p50/p99 latency,
+	// goodput per chip, affinity and handoff accounting).
+	FleetResult = fleet.Result
+	// FleetPolicy selects how the router picks a replica.
+	FleetPolicy = fleet.Policy
+	// FleetRoutingComparison is the affinity-vs-random head-to-head.
+	FleetRoutingComparison = fleet.RoutingComparison
+	// EnginePair is the executable prefill→decode handoff: two real
+	// engines with KV cache blocks moved between them per request.
+	EnginePair = fleet.EnginePair
+	// EngineOptions are the functional engine's feature knobs; KVDType
+	// and WireDType carry the same typed dtype vocabulary as the
+	// analytic configs (the Int8KV/Int8Wire bools are deprecated
+	// aliases).
+	EngineOptions = engine.Options
+)
+
+// Routing policies.
+const (
+	Affinity    = fleet.Affinity
+	LeastLoaded = fleet.LeastLoaded
+	RandomRoute = fleet.Random
+)
+
+// Admission and validation sentinels, checkable with errors.Is at every
+// layer (serve, batching, fleet).
+var (
+	ErrInvalidConfig = batching.ErrInvalidConfig
+	ErrInfeasible    = batching.ErrInfeasible
+	ErrInvalidTrace  = batching.ErrInvalidTrace
+	ErrPromptTooLong = batching.ErrPromptTooLong
+	ErrNoSlots       = batching.ErrNoSlots
+	ErrDeadline      = batching.ErrDeadline
+	ErrOverloaded    = batching.ErrOverloaded
+)
+
+// ZipfPrefixTrace builds a template-heavy workload whose template ranks
+// follow a Zipf(s) law: a handful of hot system prompts and a long tail,
+// the shape that makes fleet routing matter.
+func ZipfPrefixTrace(n int, interarrival float64, prefixLen, templates int, s float64, seed int64) RequestTrace {
+	return batching.ZipfPrefixTrace(n, interarrival, prefixLen, templates, s, seed)
+}
+
+// WithSLO stamps deadlines and priority tiers onto a copy of the trace:
+// highFrac of requests become high tier with half the slack.
+func WithSLO(t RequestTrace, slack, highFrac float64, seed int64) RequestTrace {
+	return batching.WithSLO(t, slack, highFrac, seed)
+}
+
+// SimulateFleet replays a trace through N replicas behind the router.
+func SimulateFleet(c FleetConfig, t RequestTrace) (FleetResult, error) {
+	return fleet.Simulate(c, t)
+}
+
+// CompareRouting replays the same trace under prefix-affinity and random
+// routing, isolating what the routing signal is worth.
+func CompareRouting(c FleetConfig, t RequestTrace) (FleetRoutingComparison, error) {
+	return fleet.CompareRouting(c, t)
 }

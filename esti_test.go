@@ -1,6 +1,7 @@
 package esti
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -47,6 +48,33 @@ func TestFacadeMakePlan(t *testing.T) {
 	}
 	if p.Decode.FFN != FFN2DWeightStationary && p.Decode.FFN != FFN1DWeightStationary {
 		t.Errorf("decode picked %v, want a weight-stationary layout", p.Decode.FFN)
+	}
+}
+
+// The fleet layer through the facade alone: a Zipf trace routed across two
+// replicas with affinity, plus the sentinel vocabulary via errors.Is.
+func TestFacadeFleet(t *testing.T) {
+	c := FleetConfig{
+		Replica: ContinuousConfig{
+			Model: PaLM540B(), Weights: Int8, System: TPUv4Slice(4, 4, 4),
+			FFN: FFN2DWeightStationary, Attn: AttnShardBatch,
+			Slots: 64, MaxLen: 2048 + 256, PrefixCache: true, Knobs: DefaultKnobs(),
+		},
+		Replicas: 2, Policy: Affinity,
+	}
+	trace := WithSLO(ZipfPrefixTrace(60, 0.05, 512, 8, 1.3, 1), 60, 0.25, 2)
+	res, err := SimulateFleet(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 60 || res.Shed != 0 {
+		t.Fatalf("completed %d shed %d, want 60/0", res.Completed, res.Shed)
+	}
+	if res.AffinityHits == 0 || res.GoodputPerChip <= 0 {
+		t.Errorf("degenerate fleet result: hits %d goodput %.3f", res.AffinityHits, res.GoodputPerChip)
+	}
+	if _, err := SimulateFleet(FleetConfig{Replica: c.Replica}, trace); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("zero replicas: got %v, want ErrInvalidConfig", err)
 	}
 }
 

@@ -27,6 +27,7 @@
 package batching
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,6 +54,16 @@ type Request struct {
 	// them, prefilling only its Context-PrefixLen suffix.
 	Template  int
 	PrefixLen int
+	// Deadline is the absolute time by which the request's last token must
+	// be generated (0 = no deadline). The single-replica Simulate records
+	// but does not enforce it; the fleet router's SLO admission sheds
+	// requests whose estimated completion misses it (ErrDeadline) and
+	// counts completions past it against goodput.
+	Deadline float64
+	// Priority orders admission under contention: higher values are
+	// admitted first (equal priorities stay FIFO; the zero value reproduces
+	// plain FIFO). Under overload the fleet sheds the lowest tier first.
+	Priority int
 	// Filled by Simulate:
 	Admitted float64 // when the request entered a slot
 	Done     float64 // when its last token was generated
@@ -154,6 +165,63 @@ func SharedPrefixTrace(n int, interarrival float64, prefixLen, templates int, se
 	return Trace{Requests: reqs}
 }
 
+// ZipfPrefixTrace is SharedPrefixTrace with Zipf-distributed template
+// popularity: template ranks are drawn from a Zipf(s) law, so a handful of
+// head templates dominate the stream while a long tail appears rarely —
+// the popularity shape of real multi-tenant template traffic, and the one
+// that makes prefix-affinity routing matter (a router that concentrates
+// each hot template's requests on one replica turns almost all of them
+// into prefix hits; spreading them uniformly warms every replica's cache
+// with every template before hits accrue). s must be > 1 (larger = more
+// skewed; ~1.1 is mild, ~2 is heavily head-dominated).
+func ZipfPrefixTrace(n int, interarrival float64, prefixLen, templates int, s float64, seed int64) Trace {
+	if templates < 1 {
+		templates = 1
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(templates-1))
+	suffixes := []int{32, 64, 128, 256}
+	sufWeights := []float64{0.3, 0.3, 0.25, 0.15}
+	gens := []int{16, 32, 64, 128}
+	genWeights := []float64{0.25, 0.35, 0.25, 0.15}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:        i,
+			Arrival:   float64(i) * interarrival,
+			Context:   prefixLen + suffixes[pick(rng, sufWeights)],
+			Gen:       gens[pick(rng, genWeights)],
+			Template:  1 + int(zipf.Uint64()),
+			PrefixLen: prefixLen,
+			Slot:      -1,
+		}
+	}
+	return Trace{Requests: reqs}
+}
+
+// WithSLO stamps deadlines and priority tiers onto a trace: every request
+// gets Deadline = Arrival + slack, and a highFrac fraction are promoted to
+// Priority 1 with the tighter slack/2 deadline — the latency-critical tier
+// the fleet's SLO admission protects under overload. The input trace is
+// unchanged; a stamped copy is returned.
+func WithSLO(t Trace, slack, highFrac float64, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, len(t.Requests))
+	copy(reqs, t.Requests)
+	for i := range reqs {
+		if rng.Float64() < highFrac {
+			reqs[i].Priority = 1
+			reqs[i].Deadline = reqs[i].Arrival + slack/2
+		} else {
+			reqs[i].Deadline = reqs[i].Arrival + slack
+		}
+	}
+	return Trace{Requests: reqs}
+}
+
 func pick(rng *rand.Rand, weights []float64) int {
 	r := rng.Float64()
 	acc := 0.0
@@ -211,13 +279,13 @@ type Config struct {
 
 func (c Config) validate() error {
 	if c.Slots < 1 {
-		return fmt.Errorf("batching: %d slots", c.Slots)
+		return fmt.Errorf("batching: %w: %d slots", ErrInvalidConfig, c.Slots)
 	}
 	if c.MaxLen < 2 {
-		return fmt.Errorf("batching: per-slot capacity %d < 2", c.MaxLen)
+		return fmt.Errorf("batching: %w: per-slot capacity %d < 2", ErrInvalidConfig, c.MaxLen)
 	}
 	if c.PrefillChunk < 0 {
-		return fmt.Errorf("batching: negative prefill chunk %d", c.PrefillChunk)
+		return fmt.Errorf("batching: %w: negative prefill chunk %d", ErrInvalidConfig, c.PrefillChunk)
 	}
 	// Feasibility at full occupancy and depth: if the KV cache of Slots
 	// sequences at MaxLen doesn't fit beside the weights, the deployment
@@ -229,7 +297,27 @@ func (c Config) validate() error {
 		Batch: c.Slots, Context: c.MaxLen - 1, Gen: 1,
 	}, c.Knobs)
 	if !probe.Feasible {
-		return fmt.Errorf("batching: infeasible at full occupancy: %s", probe.Reason)
+		return fmt.Errorf("batching: %w at full occupancy: %s", ErrInfeasible, probe.Reason)
+	}
+	return nil
+}
+
+// CheckRequest classifies one request against this configuration: nil for
+// an admissible request, ErrInvalidTrace for a malformed one (builder bug),
+// ErrPromptTooLong for one no slot could ever hold. Simulate applies the
+// same classification (malformed aborts the run, too-long counts as
+// Rejected); the fleet router applies it per arrival before routing.
+func (c Config) CheckRequest(r Request) error {
+	if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
+		return fmt.Errorf("batching: %w: request %d arrival %g", ErrInvalidTrace, r.ID, r.Arrival)
+	}
+	if r.Template != 0 && (r.PrefixLen < 0 || r.PrefixLen >= r.Context) {
+		return fmt.Errorf("batching: %w: request %d prefix %d outside [0, context %d)",
+			ErrInvalidTrace, r.ID, r.PrefixLen, r.Context)
+	}
+	if r.Context < 1 || r.Gen < 1 || r.Context+r.Gen > c.MaxLen {
+		return fmt.Errorf("batching: %w: request %d wants %d+%d of %d",
+			ErrPromptTooLong, r.ID, r.Context, r.Gen, c.MaxLen)
 	}
 	return nil
 }
@@ -271,6 +359,10 @@ type slotState struct {
 	// (0 = none): the template warms only once the prefix actually sits in
 	// the cache, i.e. when this prefill completes.
 	seedsTemplate int
+	// decodeOnly marks a handoff admission: the KV arrived from a prefill
+	// replica, so this slot never prefills and its first token is credited
+	// elsewhere.
+	decodeOnly bool
 }
 
 // Simulate runs the iteration-level scheduler over the trace and returns
@@ -291,7 +383,8 @@ type slotState struct {
 //
 // The simulation is deterministic: same config and trace, same result.
 func Simulate(c Config, trace Trace) (Result, error) {
-	if err := c.validate(); err != nil {
+	sched, err := NewScheduler(c)
+	if err != nil {
 		return Result{}, err
 	}
 
@@ -303,240 +396,33 @@ func Simulate(c Config, trace Trace) (Result, error) {
 	rejected := 0
 	for i := range reqs {
 		r := &reqs[i]
-		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
-			// A non-finite arrival would stall the event loop forever
-			// (NaN compares false with everything).
-			return Result{}, fmt.Errorf("batching: request %d has invalid arrival %g", r.ID, r.Arrival)
-		}
-		if r.Template != 0 && (r.PrefixLen < 0 || r.PrefixLen >= r.Context) {
-			// A template whose prefix covers the whole prompt (or none of
-			// it) is a trace-builder bug, not load to shed.
-			return Result{}, fmt.Errorf("batching: request %d has prefix %d outside [0, context %d)",
-				r.ID, r.PrefixLen, r.Context)
-		}
-		if r.Context < 1 || r.Gen < 1 || r.Context+r.Gen > c.MaxLen {
+		switch err := c.CheckRequest(*r); {
+		case errors.Is(err, ErrInvalidTrace):
+			// A malformed request is a trace-builder bug, not load to shed
+			// (and a non-finite arrival would stall the event loop forever).
+			return Result{}, err
+		case errors.Is(err, ErrPromptTooLong):
 			r.Slot = -1
 			rejected++
-			continue
+		default:
+			eligible = append(eligible, r)
 		}
-		eligible = append(eligible, r)
 	}
 
-	type preKey struct{ past, ctx int }
-	prefillMemo := map[preKey]float64{}
-	prefillT := func(past, ctx int) float64 {
-		key := preKey{past, ctx}
-		if t, ok := prefillMemo[key]; ok {
-			return t
-		}
-		res := perf.Prefill(perf.Request{
-			Model: c.Model, System: c.System, Weights: c.Weights,
-			KVDType: c.KVDType, WireDType: c.WireDType,
-			FFN: c.FFN, Attn: c.Attn, Batch: 1, Context: ctx, Past: past,
-		}, c.Knobs)
-		prefillMemo[key] = res.Time
-		return res.Time
-	}
-	type stepKey struct{ batch, ctx int }
-	stepMemo := map[stepKey]float64{}
-	decodeT := func(batch, ctx int) float64 {
-		// Bucket the context so the memo stays small; the step cost varies
-		// slowly with context.
-		key := stepKey{batch, (ctx + 31) / 32 * 32}
-		if t, ok := stepMemo[key]; ok {
-			return t
-		}
-		res := perf.Decode(perf.Request{
-			Model: c.Model, System: c.System, Weights: c.Weights,
-			KVDType: c.KVDType, WireDType: c.WireDType,
-			FFN: c.FFN, Attn: c.Attn, Batch: batch, Context: key.ctx, Gen: 1,
-		}, c.Knobs)
-		stepMemo[key] = res.Time
-		return res.Time
-	}
-
-	slots := make([]*slotState, c.Slots)
-	free := c.Slots
-	var queue []*Request
 	next := 0
-	t := 0.0
-	busyWeighted := 0.0
-	iterations := 0
-	completed := 0
-	genTokens := 0
-	makespan := 0.0
-	maxIterTime := 0.0
-	warm := map[int]bool{} // templates whose prefix is cached
-	prefixHits, prefixMisses, cachedTokens := 0, 0, 0
-
-	for completed < len(eligible) {
-		for next < len(eligible) && eligible[next].Arrival <= t {
-			queue = append(queue, eligible[next])
+	for sched.completed < len(eligible) {
+		for next < len(eligible) && eligible[next].Arrival <= sched.Now() {
+			sched.Enqueue(eligible[next])
 			next++
 		}
-		if free == c.Slots && len(queue) == 0 {
+		if !sched.Busy() {
 			// Idle: jump to the next arrival.
-			t = eligible[next].Arrival
+			sched.AdvanceTo(eligible[next].Arrival)
 			continue
 		}
-
-		iterTime := 0.0
-		// firstToken marks slots that get this iteration's token from
-		// their (completed) prefill rather than from the decode step.
-		firstToken := map[int]bool{}
-		admitted := 0
-		for free > 0 && len(queue) > 0 {
-			if c.MaxAdmit > 0 && admitted >= c.MaxAdmit {
-				break
-			}
-			r := queue[0]
-			queue = queue[1:]
-			s := -1
-			for i, ss := range slots {
-				if ss == nil {
-					s = i
-					break
-				}
-			}
-			cached := 0
-			seeds := 0
-			if c.PrefixCache && r.Template != 0 {
-				if warm[r.Template] {
-					cached = r.PrefixLen
-					prefixHits++
-					cachedTokens += cached
-				} else {
-					// A miss warms the template only when its prefill
-					// completes; a concurrent same-template admission
-					// before then must miss too (the prefix is not in the
-					// cache yet).
-					prefixMisses++
-					seeds = r.Template
-				}
-			}
-			ss := &slotState{req: r, ctxDone: cached, toGo: r.Context - cached, seedsTemplate: seeds}
-			slots[s] = ss
-			free--
-			admitted++
-			r.Admitted = t
-			r.Slot = s
-			if c.PrefillChunk == 0 {
-				// Inline admission: the whole (remaining) prompt prefills
-				// now and yields the request's first token.
-				iterTime += prefillT(ss.ctxDone, ss.toGo)
-				ss.ctxDone = r.Context
-				ss.toGo = 0
-				ss.produced = 1
-				firstToken[s] = true
-				if ss.seedsTemplate != 0 {
-					warm[ss.seedsTemplate] = true
-				}
-			}
-		}
-
-		// Chunked prefill: spend this iteration's prefill-token budget on
-		// mid-prefill slots; a slot whose last chunk lands yields its
-		// first token. The budget, not the prompt length, now bounds the
-		// prefill time added to the iteration.
-		if c.PrefillChunk > 0 {
-			budget := c.PrefillChunk
-			for s, ss := range slots {
-				if budget == 0 {
-					break
-				}
-				if ss == nil || ss.toGo == 0 {
-					continue
-				}
-				adv := budget
-				if adv > ss.toGo {
-					adv = ss.toGo
-				}
-				iterTime += prefillT(ss.ctxDone, adv)
-				ss.ctxDone += adv
-				ss.toGo -= adv
-				budget -= adv
-				if ss.toGo == 0 {
-					ss.produced = 1
-					firstToken[s] = true
-					if ss.seedsTemplate != 0 {
-						warm[ss.seedsTemplate] = true
-					}
-				}
-			}
-		}
-
-		// Decode step over the slots that were already running; slots still
-		// prefilling and those that just got their first token sit out.
-		decodeBatch := 0
-		ctxSum := 0
-		for s, ss := range slots {
-			if ss == nil || ss.toGo > 0 || firstToken[s] {
-				continue
-			}
-			decodeBatch++
-			ctxSum += ss.req.Context + ss.produced
-		}
-		if decodeBatch > 0 {
-			iterTime += decodeT(decodeBatch, ctxSum/decodeBatch)
-		}
-
-		nActive := c.Slots - free
-		t += iterTime
-		iterations++
-		busyWeighted += float64(nActive) * iterTime
-		if iterTime > maxIterTime {
-			maxIterTime = iterTime
-		}
-
-		for s, ss := range slots {
-			if ss == nil || ss.toGo > 0 {
-				continue
-			}
-			if !firstToken[s] {
-				ss.produced++
-			}
-			if ss.produced >= ss.req.Gen {
-				ss.req.Done = t
-				completed++
-				genTokens += ss.req.Gen
-				slots[s] = nil
-				free++
-				if t > makespan {
-					makespan = t
-				}
-			}
-		}
+		sched.Step()
 	}
-
-	res := Result{
-		Completed:    completed,
-		Rejected:     rejected,
-		Makespan:     makespan,
-		GenTokens:    genTokens,
-		Iterations:   iterations,
-		MaxIterTime:  maxIterTime,
-		PrefixHits:   prefixHits,
-		PrefixMisses: prefixMisses,
-		CachedTokens: cachedTokens,
-		PerRequest:   reqs,
-	}
-	if makespan > 0 {
-		res.GenTokensPerSec = float64(genTokens) / makespan
-		res.MeanOccupancy = busyWeighted / (float64(c.Slots) * makespan)
-	}
-	if len(eligible) > 0 {
-		lat := make([]float64, len(eligible))
-		sum := 0.0
-		for i, r := range eligible {
-			lat[i] = r.Latency()
-			sum += lat[i]
-		}
-		sort.Float64s(lat)
-		pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
-		res.MeanLatency = sum / float64(len(eligible))
-		res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
-	} else {
-		res.MeanLatency = math.NaN()
-	}
-	return res, nil
+	return sched.result(reqs, eligible, rejected), nil
 }
+
+func nan() float64 { return math.NaN() }

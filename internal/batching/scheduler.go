@@ -1,0 +1,428 @@
+package batching
+
+// Scheduler is the iteration-level scheduling core of Simulate, exposed as
+// a steppable object so a fleet layer can drive many replicas' schedulers
+// against one global clock. One Scheduler owns one replica's slots and
+// queue; the caller feeds arrivals with Enqueue (ordered by Priority, FIFO
+// within a tier), advances the replica one iteration at a time with Step,
+// and moves its clock across idle gaps with AdvanceTo. Simulate is now a
+// thin loop over exactly this API, so the single-replica and fleet paths
+// cannot drift apart.
+//
+// Two pool modes extend the basic discipline for disaggregated serving:
+//
+//   - A prefill-only scheduler (NewPrefillScheduler) completes a request
+//     the moment its prompt finishes prefilling — the first token exists,
+//     and the slot's KV is ready to hand off to a decode replica. The slot
+//     frees immediately; no decode iterations run for it.
+//   - A decode-only admission (EnqueueDecodeOnly) admits a request whose
+//     KV already arrived via handoff: it skips prefill entirely, joining
+//     the decode batch on its admission iteration and generating its
+//     remaining Gen-1 tokens (the first came from the prefill pool).
+
+import (
+	"sort"
+
+	"esti/internal/perf"
+)
+
+type queued struct {
+	r          *Request
+	decodeOnly bool
+}
+
+type preKey struct{ past, ctx int }
+type stepKey struct{ batch, ctx int }
+
+// Scheduler holds one replica's iteration-level scheduling state.
+type Scheduler struct {
+	c           Config
+	prefillOnly bool
+
+	slots []*slotState
+	free  int
+	queue []queued
+	now   float64
+	warm  map[int]bool
+
+	prefillMemo map[preKey]float64
+	stepMemo    map[stepKey]float64
+
+	// Accumulated over the run (Simulate and fleet read these to assemble
+	// their Results).
+	iterations               int
+	busyWeighted             float64
+	maxIterTime              float64
+	prefixHits, prefixMisses int
+	cachedTokens             int
+	completed                int
+	genTokens                int
+	makespan                 float64
+}
+
+// NewScheduler validates the configuration and returns an empty scheduler.
+func NewScheduler(c Config) (*Scheduler, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		c:           c,
+		slots:       make([]*slotState, c.Slots),
+		free:        c.Slots,
+		warm:        map[int]bool{},
+		prefillMemo: map[preKey]float64{},
+		stepMemo:    map[stepKey]float64{},
+	}, nil
+}
+
+// NewPrefillScheduler returns a scheduler for a disaggregated prefill pool:
+// requests complete when their prompt's prefill (and first token) lands,
+// freeing the slot for the next admission; the decode phase happens on
+// another replica after KV handoff.
+func NewPrefillScheduler(c Config) (*Scheduler, error) {
+	s, err := NewScheduler(c)
+	if err != nil {
+		return nil, err
+	}
+	s.prefillOnly = true
+	return s, nil
+}
+
+// Now returns the replica's clock.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// AdvanceTo moves the replica's clock forward to t (never backward) — the
+// idle jump between an empty replica and its next arrival.
+func (s *Scheduler) AdvanceTo(t float64) {
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Busy reports whether the replica has any work: occupied slots or queued
+// requests.
+func (s *Scheduler) Busy() bool { return s.free < s.c.Slots || len(s.queue) > 0 }
+
+// Pending is the queued (not yet admitted) request count.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Active is the occupied slot count.
+func (s *Scheduler) Active() int { return s.c.Slots - s.free }
+
+// Load is the replica's total backlog: queued plus admitted-and-running.
+func (s *Scheduler) Load() int { return s.Pending() + s.Active() }
+
+// HasTemplate reports whether the template's prefix is warm in this
+// replica's cache — the router's prefix-affinity signal.
+func (s *Scheduler) HasTemplate(template int) bool { return s.warm[template] }
+
+// Enqueue adds a request to the admission queue, ordered by Priority
+// (higher first) and FIFO within a tier — with all-zero priorities this is
+// plain FIFO, the original Simulate discipline.
+func (s *Scheduler) Enqueue(r *Request) { s.enqueue(queued{r: r}) }
+
+// EnqueueDecodeOnly adds a request whose prompt KV is already in place
+// (imported via handoff from a prefill replica): admission skips prefill
+// and the slot joins the decode batch the same iteration. The request's
+// first token is credited to the prefill pool; this replica generates the
+// remaining Gen-1.
+func (s *Scheduler) EnqueueDecodeOnly(r *Request) { s.enqueue(queued{r: r, decodeOnly: true}) }
+
+func (s *Scheduler) enqueue(q queued) {
+	at := len(s.queue)
+	for i, o := range s.queue {
+		if q.r.Priority > o.r.Priority {
+			at = i
+			break
+		}
+	}
+	s.queue = append(s.queue, queued{})
+	copy(s.queue[at+1:], s.queue[at:])
+	s.queue[at] = q
+}
+
+// prefillT is the memoized batch-1 prefill cost of ctx tokens on top of
+// `past` cached positions.
+func (s *Scheduler) prefillT(past, ctx int) float64 {
+	c := s.c
+	key := preKey{past, ctx}
+	if t, ok := s.prefillMemo[key]; ok {
+		return t
+	}
+	res := perf.Prefill(perf.Request{
+		Model: c.Model, System: c.System, Weights: c.Weights,
+		KVDType: c.KVDType, WireDType: c.WireDType,
+		FFN: c.FFN, Attn: c.Attn, Batch: 1, Context: ctx, Past: past,
+	}, c.Knobs)
+	s.prefillMemo[key] = res.Time
+	return res.Time
+}
+
+// decodeT is the memoized one-step decode cost at the given occupancy and
+// mean context (bucketed to 32 so the memo stays small; the step cost
+// varies slowly with context).
+func (s *Scheduler) decodeT(batch, ctx int) float64 {
+	c := s.c
+	key := stepKey{batch, (ctx + 31) / 32 * 32}
+	if t, ok := s.stepMemo[key]; ok {
+		return t
+	}
+	res := perf.Decode(perf.Request{
+		Model: c.Model, System: c.System, Weights: c.Weights,
+		KVDType: c.KVDType, WireDType: c.WireDType,
+		FFN: c.FFN, Attn: c.Attn, Batch: batch, Context: key.ctx, Gen: 1,
+	}, c.Knobs)
+	s.stepMemo[key] = res.Time
+	return res.Time
+}
+
+// EstimateFinish predicts when a candidate request would produce its last
+// token if enqueued now, from the perf model's costs: the prefill work
+// queued ahead of it plus its own, and the remaining decode tokens of
+// everything in flight served at steady-state occupancy. It deliberately
+// ignores priorities and future arrivals — a cheap, deterministic signal
+// for SLO admission (shed when even this optimistic bound misses the
+// deadline), not a simulation.
+func (s *Scheduler) EstimateFinish(r *Request, decodeOnly bool) float64 {
+	prefillWork := 0.0
+	remaining := 0
+	for _, ss := range s.slots {
+		if ss == nil {
+			continue
+		}
+		if ss.toGo > 0 {
+			prefillWork += s.prefillT(ss.ctxDone, ss.toGo)
+		}
+		remaining += ss.req.Gen - ss.produced
+	}
+	for _, q := range s.queue {
+		if !q.decodeOnly {
+			prefillWork += s.prefillT(0, q.r.Context)
+		}
+		remaining += q.r.Gen
+	}
+	if !decodeOnly {
+		prefillWork += s.prefillT(0, r.Context)
+	}
+	remaining += r.Gen
+	if s.prefillOnly {
+		// A prefill pool's service is the prefill work alone.
+		return s.now + prefillWork
+	}
+	b := s.Load() + 1
+	if b > s.c.Slots {
+		b = s.c.Slots
+	}
+	step := s.decodeT(b, r.Context+r.Gen/2)
+	return s.now + prefillWork + float64(remaining)*step/float64(b)
+}
+
+// Step runs one scheduler iteration — admissions, chunked prefill, one
+// decode step, completions — advancing the replica's clock by the
+// iteration's modeled time. Completed requests are returned with Done set;
+// in prefill-only mode completion means "first token produced, KV ready to
+// hand off". A scheduler with no work returns (0, nil) untouched.
+func (s *Scheduler) Step() (iterTime float64, done []*Request) {
+	if !s.Busy() {
+		return 0, nil
+	}
+	c := s.c
+
+	// firstToken marks slots whose token this iteration came from their
+	// (completed) prefill rather than from the decode step.
+	firstToken := map[int]bool{}
+	admitted := 0
+	for s.free > 0 && len(s.queue) > 0 {
+		if c.MaxAdmit > 0 && admitted >= c.MaxAdmit {
+			break
+		}
+		q := s.queue[0]
+		s.queue = s.queue[1:]
+		r := q.r
+		slot := -1
+		for i, ss := range s.slots {
+			if ss == nil {
+				slot = i
+				break
+			}
+		}
+		cached := 0
+		seeds := 0
+		if c.PrefixCache && r.Template != 0 && !q.decodeOnly {
+			if s.warm[r.Template] {
+				cached = r.PrefixLen
+				s.prefixHits++
+				s.cachedTokens += cached
+			} else {
+				// A miss warms the template only when its prefill
+				// completes; a concurrent same-template admission before
+				// then must miss too (the prefix is not in the cache yet).
+				s.prefixMisses++
+				seeds = r.Template
+			}
+		}
+		ss := &slotState{req: r, ctxDone: cached, toGo: r.Context - cached,
+			seedsTemplate: seeds, decodeOnly: q.decodeOnly}
+		s.slots[slot] = ss
+		s.free--
+		admitted++
+		r.Admitted = s.now
+		r.Slot = slot
+		if q.decodeOnly {
+			// KV arrived via handoff: nothing to prefill, the first token
+			// already exists. The slot joins this iteration's decode step —
+			// unless that one token was the whole request.
+			ss.ctxDone = r.Context
+			ss.toGo = 0
+			ss.produced = 1
+			if ss.produced >= r.Gen {
+				firstToken[slot] = true
+			}
+			continue
+		}
+		if c.PrefillChunk == 0 {
+			// Inline admission: the whole (remaining) prompt prefills now
+			// and yields the request's first token.
+			iterTime += s.prefillT(ss.ctxDone, ss.toGo)
+			ss.ctxDone = r.Context
+			ss.toGo = 0
+			ss.produced = 1
+			firstToken[slot] = true
+			if ss.seedsTemplate != 0 {
+				s.warm[ss.seedsTemplate] = true
+			}
+		}
+	}
+
+	// Chunked prefill: spend this iteration's prefill-token budget on
+	// mid-prefill slots; a slot whose last chunk lands yields its first
+	// token. The budget, not the prompt length, now bounds the prefill time
+	// added to the iteration.
+	if c.PrefillChunk > 0 {
+		budget := c.PrefillChunk
+		for slot, ss := range s.slots {
+			if budget == 0 {
+				break
+			}
+			if ss == nil || ss.toGo == 0 {
+				continue
+			}
+			adv := budget
+			if adv > ss.toGo {
+				adv = ss.toGo
+			}
+			iterTime += s.prefillT(ss.ctxDone, adv)
+			ss.ctxDone += adv
+			ss.toGo -= adv
+			budget -= adv
+			if ss.toGo == 0 {
+				ss.produced = 1
+				firstToken[slot] = true
+				if ss.seedsTemplate != 0 {
+					s.warm[ss.seedsTemplate] = true
+				}
+			}
+		}
+	}
+
+	// Decode step over the slots that were already running; slots still
+	// prefilling and those that just got their first token sit out. A
+	// prefill-only pool never decodes.
+	if !s.prefillOnly {
+		decodeBatch := 0
+		ctxSum := 0
+		for slot, ss := range s.slots {
+			if ss == nil || ss.toGo > 0 || firstToken[slot] {
+				continue
+			}
+			decodeBatch++
+			ctxSum += ss.req.Context + ss.produced
+		}
+		if decodeBatch > 0 {
+			iterTime += s.decodeT(decodeBatch, ctxSum/decodeBatch)
+		}
+	}
+
+	nActive := c.Slots - s.free
+	s.now += iterTime
+	s.iterations++
+	s.busyWeighted += float64(nActive) * iterTime
+	if iterTime > s.maxIterTime {
+		s.maxIterTime = iterTime
+	}
+
+	for slot, ss := range s.slots {
+		if ss == nil || ss.toGo > 0 {
+			continue
+		}
+		if !firstToken[slot] && !s.prefillOnly {
+			ss.produced++
+		}
+		finished := ss.produced >= ss.req.Gen
+		if s.prefillOnly {
+			finished = ss.produced >= 1
+		}
+		if finished {
+			ss.req.Done = s.now
+			s.completed++
+			s.genTokens += ss.localTokens()
+			done = append(done, ss.req)
+			s.slots[slot] = nil
+			s.free++
+			if s.now > s.makespan {
+				s.makespan = s.now
+			}
+		}
+	}
+	return iterTime, done
+}
+
+// localTokens is how many tokens this replica itself produced for the
+// request: all Gen normally, just the first in a prefill pool, the
+// remaining Gen-1 for a decode-only (handoff) admission.
+func (ss *slotState) localTokens() int {
+	if ss.decodeOnly {
+		return ss.req.Gen - 1
+	}
+	return ss.req.Gen
+}
+
+// result assembles the aggregate metrics Simulate reports, over the given
+// request population (rejected counts come from the caller's screening).
+func (s *Scheduler) result(reqs []Request, eligible []*Request, rejected int) Result {
+	res := Result{
+		Completed:    s.completed,
+		Rejected:     rejected,
+		Makespan:     s.makespan,
+		GenTokens:    s.genTokens,
+		Iterations:   s.iterations,
+		MaxIterTime:  s.maxIterTime,
+		PrefixHits:   s.prefixHits,
+		PrefixMisses: s.prefixMisses,
+		CachedTokens: s.cachedTokens,
+		PerRequest:   reqs,
+	}
+	if s.makespan > 0 {
+		res.GenTokensPerSec = float64(s.genTokens) / s.makespan
+		res.MeanOccupancy = s.busyWeighted / (float64(s.c.Slots) * s.makespan)
+	}
+	res.MeanLatency, res.P50, res.P95, res.P99 = latencyStats(eligible)
+	return res
+}
+
+// latencyStats computes the mean and percentiles of completed-request
+// latencies (NaN mean when the population is empty).
+func latencyStats(reqs []*Request) (mean, p50, p95, p99 float64) {
+	if len(reqs) == 0 {
+		return nan(), 0, 0, 0
+	}
+	lat := make([]float64, len(reqs))
+	sum := 0.0
+	for i, r := range reqs {
+		lat[i] = r.Latency()
+		sum += lat[i]
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
+	return sum / float64(len(reqs)), pct(0.50), pct(0.95), pct(0.99)
+}

@@ -74,12 +74,31 @@ import (
 )
 
 // Options selects the partitioning and storage formats.
+//
+// Storage and wire formats are expressed as model.DType values — the same
+// typed vocabulary serve.Config, batching.Config, and perf.Request use — so
+// one configuration surface flows unchanged from the analytic stack into
+// the functional engine. The zero value (model.BF16) is the default float
+// path; model.Int8 selects the quantized path; model.FP32 behaves like the
+// default (the engine computes in float32 either way). The older Int8KV /
+// Int8Wire booleans remain as deprecated aliases: a session is int8 when
+// either the typed field or its alias says so, and New normalizes both
+// views so accessors and internals agree.
 type Options struct {
 	FFN  partition.FFNLayout
 	Attn partition.AttnLayout
+	// KVDType is the KV-cache storage format (the typed form of Int8KV;
+	// matches serve.Config.KVDType / batching.Config.KVDType).
+	KVDType model.DType
+	// WireDType is the data-plane collective payload format (the typed
+	// form of Int8Wire; matches serve.Config.WireDType).
+	WireDType model.DType
 	// Int8Weights stores all projection matrices quantized (per-column
 	// symmetric int8), reproducing the paper's weight-only quantization.
 	Int8Weights bool
+	// Deprecated: set KVDType to model.Int8 instead. Honored for
+	// compatibility — either form (or both) selects the quantized cache.
+	//
 	// Int8KV stores every chip's KV-cache shard quantized (per-row
 	// symmetric int8, quantized at append, dequantized inside the fused
 	// attention walk), halving cache bytes per position and so roughly
@@ -89,6 +108,9 @@ type Options struct {
 	// resharding all-to-alls and all other wire traffic are unchanged
 	// (quantization happens at the cache boundary on each chip).
 	Int8KV bool
+	// Deprecated: set WireDType to model.Int8 instead. Honored for
+	// compatibility — either form (or both) selects the int8 wire.
+	//
 	// Int8Wire moves the data-plane collective payloads — the activation
 	// all-gathers and reduce-scatters (agCols/rsCols), the attention
 	// resharding all-to-alls, and the weight-gathered layout's per-layer
@@ -120,6 +142,32 @@ type Options struct {
 	// zero-allocation decode contract is unchanged. Valid on every layout,
 	// orthogonal to the Int8 options.
 	Streamed bool
+}
+
+// normalize reconciles the typed dtype fields with their deprecated bool
+// aliases: either form selects int8, and afterwards both views agree
+// (opts.Int8KV == (opts.KVDType == model.Int8), likewise for the wire), so
+// internals can keep reading the bools and accessors can report the typed
+// values without re-deriving.
+func (o *Options) normalize() error {
+	for _, d := range []model.DType{o.KVDType, o.WireDType} {
+		switch d {
+		case model.BF16, model.Int8, model.FP32:
+		default:
+			return fmt.Errorf("engine: unknown dtype %d", d)
+		}
+	}
+	if o.Int8KV {
+		o.KVDType = model.Int8
+	} else if o.KVDType == model.Int8 {
+		o.Int8KV = true
+	}
+	if o.Int8Wire {
+		o.WireDType = model.Int8
+	} else if o.WireDType == model.Int8 {
+		o.Int8Wire = true
+	}
+	return nil
 }
 
 // weight is a matrix in either float or int8 form.
@@ -323,6 +371,9 @@ type Engine struct {
 // New shards the reference weights onto a mesh. It validates the
 // divisibility constraints the layouts need.
 func New(w *reference.Weights, t hardware.Torus, opts Options, batch, maxLen int) (*Engine, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
 	cfg := w.Cfg
 	n := t.Chips()
 	yz := t.Y * t.Z
@@ -406,12 +457,22 @@ func (e *Engine) Mesh() *mesh.Mesh { return e.m }
 // model's bf16 baseline per position).
 func (e *Engine) ChipCacheBytes(rank int) int { return e.chips[rank].cache.Bytes() }
 
-// Int8KV reports whether the session stores its KV cache quantized.
+// Int8KV reports whether the session stores its KV cache quantized
+// (requested through either Options.KVDType or the deprecated bool).
 func (e *Engine) Int8KV() bool { return e.opts.Int8KV }
 
 // Int8Wire reports whether the session's data-plane collectives move
-// int8 payloads.
+// int8 payloads (requested through either form).
 func (e *Engine) Int8Wire() bool { return e.opts.Int8Wire }
+
+// KVDType returns the session's KV-cache storage format as the typed
+// vocabulary the analytic stack uses (normalized: a session built with the
+// deprecated Int8KV bool reports model.Int8 here too).
+func (e *Engine) KVDType() model.DType { return e.opts.KVDType }
+
+// WireDType returns the session's collective payload format, normalized
+// the same way.
+func (e *Engine) WireDType() model.DType { return e.opts.WireDType }
 
 // Streamed reports whether the session fuses FFN compute into the
 // collective chunk stream (Options.Streamed).

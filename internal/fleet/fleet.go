@@ -1,0 +1,528 @@
+// Package fleet scales the serving stack past one replica: N engine
+// replicas behind a router, driven as one discrete-event simulation against
+// a shared arrival stream. It composes the pieces the lower layers already
+// provide — batching.Scheduler for each replica's iteration-level
+// discipline, the perf model for iteration costs, the prefix cache's warm
+// set as the router's affinity signal — into the cluster-level questions
+// the paper stops short of: where should a request go, when should it be
+// refused, and what does disaggregating prefill from decode buy at fleet
+// scale.
+//
+// Three mechanisms, all behind one Simulate call:
+//
+//   - Prefix-affinity routing: a request opening with a known template is
+//     sent to the replica whose cache already holds that prefix, turning
+//     the fleet's prefix hit rate from per-replica luck into a routing
+//     invariant. Compare against Random with CompareRouting.
+//   - Disaggregated pools: prefill-only replicas complete a request at its
+//     first token and hand the slot's KV to a decode replica over the
+//     interconnect (the executable counterpart is EnginePair, which moves
+//     real cache blocks between engines token-exactly).
+//   - SLO admission: per-request deadlines and priority tiers; the router
+//     sheds work the perf model says cannot finish in time (ErrDeadline)
+//     and low-priority work when queues saturate (ErrOverloaded), keeping
+//     chips on tokens that still count toward goodput.
+package fleet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"esti/internal/batching"
+)
+
+// Policy selects how the router picks a replica for each arrival.
+type Policy int
+
+const (
+	// Affinity routes to the least-loaded replica whose prefix cache is
+	// already warm for the request's template, spilling to the
+	// least-loaded replica overall when no replica is warm or the warm
+	// ones carry more than 1.25x the fleet-average backlog (bounded load:
+	// hot templates replicate onto as many replicas as their traffic
+	// share needs).
+	Affinity Policy = iota
+	// LeastLoaded ignores templates and balances queue+slot backlog.
+	LeastLoaded
+	// Random routes uniformly at random (seeded) — the baseline that shows
+	// what affinity buys.
+	Random
+)
+
+// String names the policy for reports.
+func (p Policy) String() string {
+	switch p {
+	case Affinity:
+		return "affinity"
+	case LeastLoaded:
+		return "least-loaded"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config describes a fleet: one replica blueprint stamped N times, a
+// routing policy, and optionally a disaggregated split.
+type Config struct {
+	// Replica is the per-replica serving configuration (model, slice,
+	// layout, slots). Every replica in the fleet is identical.
+	Replica batching.Config
+	// Replicas is the fleet size in unified mode (each replica runs both
+	// phases). Ignored when Disaggregated.
+	Replicas int
+	// Policy is the routing policy for arrivals.
+	Policy Policy
+	// Disaggregated splits the fleet into PrefillReplicas prefill-only
+	// replicas and DecodeReplicas decode replicas. A request prefills on
+	// one pool, then its slot KV crosses the interconnect and decoding
+	// resumes on the other — the fleet-scale version of the paper's
+	// two-tier pipeline, with per-request handoff instead of tier batches.
+	Disaggregated   bool
+	PrefillReplicas int
+	DecodeReplicas  int
+	// MaxQueue bounds each replica's admission queue (0 = unbounded).
+	// When the routed replica's queue is full, Priority-0 requests are
+	// shed with ErrOverloaded; higher tiers are admitted past the bound —
+	// the bound exists to protect them.
+	MaxQueue int
+	// HandoffBandwidth is the bytes/s available for KV handoff between
+	// pools (0 = the replica chip's NetworkBandwidth). Each handoff delays
+	// the decode admission by Context × KV-bytes-per-token / bandwidth.
+	HandoffBandwidth float64
+	// Seed drives the Random policy.
+	Seed int64
+}
+
+// Outcome records what the fleet did with one request: the ingress replica
+// it was routed to (-1 if refused before routing) and the sentinel error it
+// was shed with (nil if it completed).
+type Outcome struct {
+	Req     *batching.Request
+	Replica int
+	Err     error
+}
+
+// ReplicaStats is one replica's share of the run.
+type ReplicaStats struct {
+	// Role is "unified", "prefill", or "decode".
+	Role string
+	// Routed counts requests this replica admitted at ingress (arrivals
+	// for unified/prefill replicas, handoffs for decode replicas).
+	Routed int
+	// Completed counts requests whose final token this replica produced.
+	Completed int
+	// LocalTokens counts tokens this replica itself generated: Gen per
+	// unified completion, 1 per prefill handoff, Gen-1 per decode
+	// completion — so the pools' tokens sum to the fleet's GenTokens.
+	LocalTokens int
+}
+
+// Result aggregates a fleet simulation.
+type Result struct {
+	Completed int
+	// Rejected counts requests no slot could ever hold (ErrPromptTooLong).
+	Rejected int
+	// Shed counts admissible requests the router refused for SLO reasons
+	// (ErrDeadline, ErrOverloaded).
+	Shed int
+	// DeadlineMisses counts completed requests that finished past their
+	// deadline: served, but not goodput.
+	DeadlineMisses int
+	// GenTokens counts all generated tokens of completed requests;
+	// GoodTokens only those that met their deadline (or had none).
+	GenTokens  int
+	GoodTokens int
+	// Makespan is the last completion time; GenTokensPerSec the fleet's
+	// generated-token rate over it.
+	Makespan        float64
+	GenTokensPerSec float64
+	// GoodputPerChip is goodput tokens/s divided by the fleet's total chip
+	// count — the paper's cost axis, extended to SLO-aware serving.
+	GoodputPerChip float64
+	MeanLatency    float64
+	P50, P99       float64
+	// AffinityHits/Misses count templated admissions that landed on a
+	// replica already warm (or not) for their template — the routing-level
+	// hit rate, tracked under every policy so baselines are comparable.
+	AffinityHits   int
+	AffinityMisses int
+	// Handoffs and HandoffBytes measure the disaggregated KV traffic.
+	Handoffs     int
+	HandoffBytes float64
+	PerReplica   []ReplicaStats
+	Outcomes     []Outcome
+}
+
+// replica couples a scheduler with its fleet role.
+type replica struct {
+	s       *batching.Scheduler
+	prefill bool
+	stats   ReplicaStats
+}
+
+type event struct {
+	t       float64
+	seq     int
+	handoff bool
+	req     *batching.Request
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+
+type sim struct {
+	c       Config
+	ingress []*replica // unified replicas, or the prefill pool
+	decode  []*replica // nil in unified mode
+	all     []*replica
+	events  eventHeap
+	seq     int
+	rng     *rand.Rand
+	res     Result
+	kvBytes float64 // handoff bytes per prompt token
+	bw      float64
+	lat     []float64
+}
+
+// Simulate routes the trace through the fleet and returns the aggregate
+// result. The input trace is not mutated; Outcomes reference internal
+// copies. ErrInvalidTrace aborts the run (a malformed trace is a builder
+// bug, not load).
+func Simulate(c Config, trace batching.Trace) (Result, error) {
+	s, err := newSim(c)
+	if err != nil {
+		return Result{}, err
+	}
+	reqs := make([]batching.Request, len(trace.Requests))
+	copy(reqs, trace.Requests)
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	for i := range reqs {
+		if err := c.Replica.CheckRequest(reqs[i]); errors.Is(err, batching.ErrInvalidTrace) {
+			return Result{}, err
+		}
+		reqs[i].Slot = -1
+		s.events.push(event{t: reqs[i].Arrival, seq: s.nextSeq(), req: &reqs[i]})
+	}
+	s.run()
+	return s.finish(), nil
+}
+
+func newSim(c Config) (*sim, error) {
+	s := &sim{c: c, rng: rand.New(rand.NewSource(c.Seed))}
+	mk := func(prefill bool, role string) error {
+		var sch *batching.Scheduler
+		var err error
+		if prefill {
+			sch, err = batching.NewPrefillScheduler(c.Replica)
+		} else {
+			sch, err = batching.NewScheduler(c.Replica)
+		}
+		if err != nil {
+			return err
+		}
+		r := &replica{s: sch, prefill: prefill, stats: ReplicaStats{Role: role}}
+		s.all = append(s.all, r)
+		if prefill || !c.Disaggregated {
+			s.ingress = append(s.ingress, r)
+		} else {
+			s.decode = append(s.decode, r)
+		}
+		return nil
+	}
+	if c.Disaggregated {
+		if c.PrefillReplicas < 1 || c.DecodeReplicas < 1 {
+			return nil, fmt.Errorf("fleet: %w: disaggregated needs prefill and decode replicas, got %d/%d",
+				batching.ErrInvalidConfig, c.PrefillReplicas, c.DecodeReplicas)
+		}
+		for i := 0; i < c.PrefillReplicas; i++ {
+			if err := mk(true, "prefill"); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < c.DecodeReplicas; i++ {
+			if err := mk(false, "decode"); err != nil {
+				return nil, err
+			}
+		}
+		s.kvBytes = c.Replica.Model.KVBytesPerTokenAs(c.Replica.KVDType)
+		s.bw = c.HandoffBandwidth
+		if s.bw <= 0 {
+			s.bw = c.Replica.System.Chip.NetworkBandwidth
+		}
+		if s.bw <= 0 || math.IsNaN(s.bw) {
+			return nil, fmt.Errorf("fleet: %w: handoff bandwidth %g", batching.ErrInvalidConfig, s.bw)
+		}
+	} else {
+		if c.Replicas < 1 {
+			return nil, fmt.Errorf("fleet: %w: %d replicas", batching.ErrInvalidConfig, c.Replicas)
+		}
+		for i := 0; i < c.Replicas; i++ {
+			if err := mk(false, "unified"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *sim) nextSeq() int { s.seq++; return s.seq }
+
+// run is the fleet's event loop: repeatedly step the busy replica with the
+// earliest clock, unless the next router event (arrival or KV handoff)
+// precedes every busy replica — then deliver that event. Replica iterations
+// are atomic (a request arriving mid-iteration queues until the next), the
+// same granularity the single-replica Simulate has.
+func (s *sim) run() {
+	for {
+		next := math.Inf(1)
+		if len(s.events) > 0 {
+			next = s.events[0].t
+		}
+		var b *replica
+		for _, r := range s.all {
+			if r.s.Busy() && r.s.Now() < next && (b == nil || r.s.Now() < b.s.Now()) {
+				b = r
+			}
+		}
+		if b != nil {
+			_, done := b.s.Step()
+			for _, req := range done {
+				if b.prefill {
+					s.handoff(b, req)
+				} else {
+					s.complete(b, req)
+				}
+			}
+			continue
+		}
+		if len(s.events) == 0 {
+			return
+		}
+		e := s.events.pop()
+		if e.handoff {
+			s.admitDecode(e)
+		} else {
+			s.route(e)
+		}
+	}
+}
+
+// route delivers one arrival: screen it, pick an ingress replica, apply SLO
+// admission, enqueue.
+func (s *sim) route(e event) {
+	r := e.req
+	if err := s.c.Replica.CheckRequest(*r); err != nil {
+		s.res.Rejected++
+		s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: r, Replica: -1, Err: err})
+		return
+	}
+	idx := s.pick(r)
+	target := s.ingress[idx]
+	target.s.AdvanceTo(e.t)
+	if r.Template != 0 && s.c.Replica.PrefixCache {
+		if target.s.HasTemplate(r.Template) {
+			s.res.AffinityHits++
+		} else {
+			s.res.AffinityMisses++
+		}
+	}
+	if r.Deadline > 0 && s.estimate(target, r) > r.Deadline {
+		s.res.Shed++
+		s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: r, Replica: idx,
+			Err: fmt.Errorf("fleet: %w: request %d estimated past %.3f", batching.ErrDeadline, r.ID, r.Deadline)})
+		return
+	}
+	if s.c.MaxQueue > 0 && target.s.Pending() >= s.c.MaxQueue && r.Priority <= 0 {
+		s.res.Shed++
+		s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: r, Replica: idx,
+			Err: fmt.Errorf("fleet: %w: request %d, queue %d full", batching.ErrOverloaded, r.ID, target.s.Pending())})
+		return
+	}
+	target.s.Enqueue(r)
+	target.stats.Routed++
+	s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: r, Replica: idx})
+}
+
+// pick chooses the ingress replica for a request under the configured
+// policy.
+func (s *sim) pick(r *batching.Request) int {
+	leastLoaded := func() int {
+		best := 0
+		for i, rep := range s.ingress {
+			if rep.s.Load() < s.ingress[best].s.Load() {
+				best = i
+			}
+		}
+		return best
+	}
+	switch s.c.Policy {
+	case Random:
+		return s.rng.Intn(len(s.ingress))
+	case Affinity:
+		if r.Template != 0 && s.c.Replica.PrefixCache {
+			best, total := -1, 0
+			for i, rep := range s.ingress {
+				total += rep.s.Load()
+				if rep.s.HasTemplate(r.Template) && (best < 0 || rep.s.Load() < s.ingress[best].s.Load()) {
+					best = i
+				}
+			}
+			// Bounded load: the warm replica wins unless its backlog is
+			// more than 1.25x the fleet average — then the request spills
+			// to the least-loaded replica, whose cold prefill warms the
+			// template there too. Hot templates thus replicate onto just
+			// enough replicas to carry their share of the traffic.
+			bound := 1.25*float64(total)/float64(len(s.ingress)) + 1
+			if best >= 0 && float64(s.ingress[best].s.Load()) <= bound {
+				return best
+			}
+		}
+		return leastLoaded()
+	default:
+		return leastLoaded()
+	}
+}
+
+// estimate predicts the request's completion time on the chosen ingress
+// replica — plus, in disaggregated mode, the handoff delay and the decode
+// pool's service — for the shed-on-deadline decision.
+func (s *sim) estimate(target *replica, r *batching.Request) float64 {
+	est := target.s.EstimateFinish(r, false)
+	if !s.c.Disaggregated {
+		return est
+	}
+	dec := s.decode[s.pickDecode()]
+	return est + s.handoffDelay(r) + (dec.s.EstimateFinish(r, true) - dec.s.Now())
+}
+
+func (s *sim) handoffDelay(r *batching.Request) float64 {
+	return float64(r.Context) * s.kvBytes / s.bw
+}
+
+// handoff queues a prefill completion's KV transfer to the decode pool.
+func (s *sim) handoff(from *replica, r *batching.Request) {
+	bytes := float64(r.Context) * s.kvBytes
+	s.res.Handoffs++
+	s.res.HandoffBytes += bytes
+	from.stats.LocalTokens++ // the prefill pool produced the first token
+	s.events.push(event{t: from.s.Now() + bytes/s.bw, seq: s.nextSeq(), handoff: true, req: r})
+}
+
+// admitDecode delivers a handoff: the request's KV is now resident on a
+// decode replica, which generates the remaining Gen-1 tokens.
+func (s *sim) admitDecode(e event) {
+	idx := s.pickDecode()
+	target := s.decode[idx]
+	target.s.AdvanceTo(e.t)
+	target.s.EnqueueDecodeOnly(e.req)
+	target.stats.Routed++
+}
+
+func (s *sim) pickDecode() int {
+	best := 0
+	for i, rep := range s.decode {
+		if rep.s.Load() < s.decode[best].s.Load() {
+			best = i
+		}
+	}
+	return best
+}
+
+// complete books a final-token completion on a unified or decode replica.
+func (s *sim) complete(on *replica, r *batching.Request) {
+	s.res.Completed++
+	s.res.GenTokens += r.Gen
+	on.stats.Completed++
+	if on.prefill {
+		// unreachable: prefill replicas hand off instead
+		return
+	}
+	if s.c.Disaggregated {
+		on.stats.LocalTokens += r.Gen - 1
+	} else {
+		on.stats.LocalTokens += r.Gen
+	}
+	if r.Deadline > 0 && r.Done > r.Deadline {
+		s.res.DeadlineMisses++
+	} else {
+		s.res.GoodTokens += r.Gen
+	}
+	if r.Done > s.res.Makespan {
+		s.res.Makespan = r.Done
+	}
+	s.lat = append(s.lat, r.Done-r.Arrival)
+}
+
+func (s *sim) finish() Result {
+	res := s.res
+	for _, r := range s.all {
+		res.PerReplica = append(res.PerReplica, r.stats)
+	}
+	chips := float64(len(s.all) * s.c.Replica.System.Chips())
+	if res.Makespan > 0 {
+		res.GenTokensPerSec = float64(res.GenTokens) / res.Makespan
+		res.GoodputPerChip = float64(res.GoodTokens) / (res.Makespan * chips)
+	}
+	if len(s.lat) > 0 {
+		sort.Float64s(s.lat)
+		sum := 0.0
+		for _, l := range s.lat {
+			sum += l
+		}
+		res.MeanLatency = sum / float64(len(s.lat))
+		pct := func(p float64) float64 { return s.lat[int(p*float64(len(s.lat)-1))] }
+		res.P50, res.P99 = pct(0.50), pct(0.99)
+	} else {
+		res.MeanLatency = math.NaN()
+	}
+	return res
+}
+
+// RoutingComparison holds the same fleet run under prefix-affinity and
+// random routing.
+type RoutingComparison struct {
+	Affinity Result
+	Random   Result
+	// Speedup is affinity's generated-token rate over random's.
+	Speedup float64
+}
+
+// CompareRouting runs the trace twice through an identical fleet — once
+// with prefix-affinity routing, once with random — the experiment behind
+// the claim that affinity turns template popularity into throughput.
+func CompareRouting(c Config, trace batching.Trace) (RoutingComparison, error) {
+	ca := c
+	ca.Policy = Affinity
+	aff, err := Simulate(ca, trace)
+	if err != nil {
+		return RoutingComparison{}, err
+	}
+	cr := c
+	cr.Policy = Random
+	rnd, err := Simulate(cr, trace)
+	if err != nil {
+		return RoutingComparison{}, err
+	}
+	cmp := RoutingComparison{Affinity: aff, Random: rnd}
+	if rnd.GenTokensPerSec > 0 {
+		cmp.Speedup = aff.GenTokensPerSec / rnd.GenTokensPerSec
+	}
+	return cmp, nil
+}

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"fmt"
+
+	"esti/internal/engine"
+	"esti/internal/tensor"
+)
+
+// EnginePair is the executable counterpart of the disaggregated simulation:
+// a prefill engine and a decode engine coupled through the KV handoff path.
+// Generate prefills the prompt on one engine, exports the slot's cache
+// blocks (engine.ExportSlotKV), imports them into the other engine, and
+// decodes there — the token stream is identical to one engine doing both
+// phases itself, which TestEnginePairTokenExact asserts.
+type EnginePair struct {
+	Prefill *engine.Engine
+	Decode  *engine.Engine
+	// HandoffBytes accumulates the wire bytes of every KV snapshot moved
+	// between the engines.
+	HandoffBytes int
+}
+
+// Generate runs one request through the pair: prefill `prompt` on
+// prefillSlot, hand the KV to decodeSlot on the decode engine, and greedily
+// decode until `gen` tokens exist (the first comes from the prefill
+// engine's logits). Both slots are released before returning.
+func (p *EnginePair) Generate(prefillSlot, decodeSlot int, prompt []int, gen int) ([]int, error) {
+	if gen < 1 {
+		return nil, fmt.Errorf("fleet: gen %d < 1", gen)
+	}
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("fleet: empty prompt")
+	}
+	logits := p.Prefill.PrefillSlot(prefillSlot, prompt)
+	tok := argmax(logits.Row(logits.Rows - 1))
+	kv, err := p.Prefill.ExportSlotKV(prefillSlot)
+	if err != nil {
+		return nil, err
+	}
+	p.Prefill.ReleaseSlot(prefillSlot)
+	p.HandoffBytes += kv.Bytes()
+	if err := p.Decode.ImportSlotKV(decodeSlot, kv); err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, gen)
+	out = append(out, tok)
+	last := make([]int, p.Decode.Batch())
+	active := make([]bool, p.Decode.Batch())
+	active[decodeSlot] = true
+	var lg *tensor.Mat
+	for len(out) < gen {
+		last[decodeSlot] = tok
+		lg = p.Decode.DecodeSlotsInto(lg, last, active)
+		tok = argmax(lg.Row(decodeSlot))
+		out = append(out, tok)
+	}
+	p.Decode.ReleaseSlot(decodeSlot)
+	return out, nil
+}
+
+func argmax(row []float32) int {
+	best := 0
+	for i, v := range row {
+		if v > row[best] {
+			best = i
+		}
+	}
+	return best
+}

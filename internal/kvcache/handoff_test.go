@@ -1,0 +1,200 @@
+package kvcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"esti/internal/tensor"
+)
+
+// fillSlot appends n random rows to slot s across every layer and commits.
+func fillSlot(c *Cache, s, n int, rng *rand.Rand) {
+	for t := 0; t < n; t++ {
+		k := tensor.New(1, c.KVWidth)
+		v := tensor.New(1, c.KVWidth)
+		for i := range k.Data {
+			k.Data[i] = rng.Float32()*4 - 2
+			v.Data[i] = rng.Float32()*4 - 2
+		}
+		for l := 0; l < c.Layers; l++ {
+			c.AppendSeq(l, s, k, v, 1)
+		}
+		c.AdvanceSeq(s, 1)
+	}
+}
+
+func matsEqual(t *testing.T, name string, a, b *tensor.Mat) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("%s shape %dx%d vs %dx%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for r := 0; r < a.Rows; r++ {
+		ra, rb := a.Row(r), b.Row(r)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("%s row %d col %d: %g vs %g", name, r, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestExportImportFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := New(2, 3, 16, 8)
+	fillSlot(src, 1, 5, rng)
+	fillSlot(src, 0, 3, rng) // neighbor noise: must not leak into the block
+
+	b, err := src.ExportSeq(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len != 5 || b.Layers != 2 || b.Width != 8 || b.Int8 {
+		t.Fatalf("block %+v", b)
+	}
+	wantBytes := 2 * 2 * 5 * 8 * 4
+	if b.Bytes() != wantBytes {
+		t.Errorf("Bytes = %d, want %d", b.Bytes(), wantBytes)
+	}
+
+	dst := New(2, 2, 16, 8)
+	if err := dst.ImportSeq(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if dst.SeqLen(0) != 5 {
+		t.Fatalf("imported SeqLen = %d", dst.SeqLen(0))
+	}
+	for l := 0; l < 2; l++ {
+		matsEqual(t, "K", src.RowsK(l, 1, 5), dst.RowsK(l, 0, 5))
+		matsEqual(t, "V", src.RowsV(l, 1, 5), dst.RowsV(l, 0, 5))
+	}
+
+	// The block is a deep copy: releasing the source slot must not corrupt
+	// the imported rows.
+	src.ResetSeq(1)
+	if dst.RowsK(0, 0, 5).At(4, 0) == 0 && dst.RowsK(0, 0, 5).At(4, 1) == 0 {
+		t.Error("imported rows zeroed by source reset — block aliased live storage")
+	}
+}
+
+func TestExportImportInt8BitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := NewInt8(3, 2, 12, 4)
+	fillSlot(src, 0, 7, rng)
+
+	b, err := src.ExportSeq(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Int8 || b.Len != 7 {
+		t.Fatalf("block %+v", b)
+	}
+	wantBytes := 2 * 3 * 7 * (4 + 4)
+	if b.Bytes() != wantBytes {
+		t.Errorf("Bytes = %d, want %d", b.Bytes(), wantBytes)
+	}
+
+	dst := NewInt8(3, 2, 12, 4)
+	if err := dst.ImportSeq(1, b); err != nil {
+		t.Fatal(err)
+	}
+	// Raw storage must match bit for bit: same quantized values, same
+	// scales. Token-exact decode after handoff follows from this.
+	w := src.KVWidth
+	for l := 0; l < 3; l++ {
+		for tk := 0; tk < 7; tk++ {
+			srow, drow := 0*src.MaxLen+tk, 1*dst.MaxLen+tk
+			for i := 0; i < w; i++ {
+				if src.k8[l][srow*w+i] != dst.k8[l][drow*w+i] {
+					t.Fatalf("layer %d tok %d k8[%d] differs", l, tk, i)
+				}
+				if src.v8[l][srow*w+i] != dst.v8[l][drow*w+i] {
+					t.Fatalf("layer %d tok %d v8[%d] differs", l, tk, i)
+				}
+			}
+			if src.kScale[l][srow] != dst.kScale[l][drow] || src.vScale[l][srow] != dst.vScale[l][drow] {
+				t.Fatalf("layer %d tok %d scales differ", l, tk)
+			}
+		}
+	}
+}
+
+func TestExportMaterializesPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := New(2, 2, 16, 4)
+
+	// Build a 4-token shared prefix and attach it to slot 0.
+	fillSlot(src, 1, 4, rng)
+	store := NewPrefixStore(2, 4, 0)
+	k := make([]*tensor.Mat, 2)
+	v := make([]*tensor.Mat, 2)
+	for l := 0; l < 2; l++ {
+		k[l] = src.RowsK(l, 1, 4).Clone()
+		v[l] = src.RowsV(l, 1, 4).Clone()
+	}
+	p, err := store.Insert([]int{10, 11, 12, 13}, k, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AttachPrefix(0, p); err != nil {
+		t.Fatal(err)
+	}
+	fillSlot(src, 0, 3, rng) // private suffix
+
+	b, err := src.ExportSeq(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len != 7 {
+		t.Fatalf("block Len = %d, want prefix+suffix = 7", b.Len)
+	}
+
+	// Import into a cache with no prefix store at all: the block carries the
+	// prefix rows itself.
+	dst := New(2, 1, 16, 4)
+	if err := dst.ImportSeq(0, b); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 2; l++ {
+		matsEqual(t, "K", src.RowsK(l, 0, 7), dst.RowsK(l, 0, 7))
+		matsEqual(t, "V", src.RowsV(l, 0, 7), dst.RowsV(l, 0, 7))
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := New(2, 1, 8, 4)
+	fillSlot(src, 0, 3, rng)
+	b, err := src.ExportSeq(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := New(2, 1, 8, 4).ExportSeq(0); err == nil {
+		t.Error("export of empty slot should fail")
+	}
+	if err := New(2, 1, 8, 4).ImportSeq(0, nil); err == nil {
+		t.Error("nil block import should fail")
+	}
+	if err := NewInt8(2, 1, 8, 4).ImportSeq(0, b); err == nil {
+		t.Error("float block into int8 cache should fail")
+	}
+	if err := New(3, 1, 8, 4).ImportSeq(0, b); err == nil {
+		t.Error("layer mismatch should fail")
+	}
+	if err := New(2, 1, 8, 8).ImportSeq(0, b); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	if err := New(2, 1, 2, 4).ImportSeq(0, b); err == nil {
+		t.Error("capacity overflow should fail")
+	}
+	full := New(2, 1, 8, 4)
+	fillSlot(full, 0, 1, rng)
+	if err := full.ImportSeq(0, b); err == nil {
+		t.Error("import into non-empty slot should fail")
+	}
+	// Happy path still works after all the failed attempts.
+	dst := New(2, 1, 8, 4)
+	if err := dst.ImportSeq(0, b); err != nil {
+		t.Fatal(err)
+	}
+}

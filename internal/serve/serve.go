@@ -95,7 +95,7 @@ func Analyze(c Config) (Metrics, error) {
 		Batch: c.Prefill.Batch, Context: c.Context,
 	}, c.Knobs, c.PrefixHitRate, c.PrefixLen)
 	if !pre.Feasible {
-		return Metrics{}, fmt.Errorf("serve: prefill tier infeasible: %s", pre.Reason)
+		return Metrics{}, fmt.Errorf("serve: prefill tier %w: %s", ErrInfeasible, pre.Reason)
 	}
 	dec := perf.Decode(perf.Request{
 		Model: c.Model, System: c.Decode.System, Weights: c.Weights,
@@ -104,7 +104,7 @@ func Analyze(c Config) (Metrics, error) {
 		Batch: c.Decode.Batch, Context: c.Context, Gen: c.Gen,
 	}, c.Knobs)
 	if !dec.Feasible {
-		return Metrics{}, fmt.Errorf("serve: decode tier infeasible: %s", dec.Reason)
+		return Metrics{}, fmt.Errorf("serve: decode tier %w: %s", ErrInfeasible, dec.Reason)
 	}
 
 	m := Metrics{
@@ -163,10 +163,10 @@ type SimResult struct {
 // time (a half-empty batch wastes the idle slots, as in real serving).
 func Simulate(c Config, nRequests int, interarrival float64) (SimResult, error) {
 	if nRequests < 1 {
-		return SimResult{}, fmt.Errorf("serve: %d requests to simulate", nRequests)
+		return SimResult{}, fmt.Errorf("serve: %w: %d requests to simulate", ErrInvalidConfig, nRequests)
 	}
 	if interarrival < 0 || math.IsNaN(interarrival) {
-		return SimResult{}, fmt.Errorf("serve: invalid interarrival %g", interarrival)
+		return SimResult{}, fmt.Errorf("serve: %w: interarrival %g", ErrInvalidConfig, interarrival)
 	}
 	m, err := Analyze(c)
 	if err != nil {
