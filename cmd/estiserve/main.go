@@ -54,6 +54,17 @@
 // same hops:
 //
 //	estiserve -model palm540b -int8-wire -decode-batch 8 -overlap 0.8
+//
+// With -replicas N, the decode-tier slice is stamped N times behind a
+// prefix-affinity router over a Zipf-template trace (vs random routing);
+// -disaggregated splits the replicas into prefill and decode pools with
+// per-request KV handoff. Adding -fault-plan injects a deterministic fault
+// schedule — replica crashes, graceful drains, straggler slowdowns,
+// handoff-link outages — and prints goodput for the recovering fleet
+// (retries, hedging, brownout, fallback) against both the no-fault run and
+// a naive health-blind baseline that never retries:
+//
+//	estiserve -model palm540b -replicas 4 -fault-plan 'crash:1@2+4,slow:0@1-3x2.5'
 package main
 
 import (
@@ -63,6 +74,7 @@ import (
 	"strings"
 
 	"esti/internal/batching"
+	"esti/internal/faults"
 	"esti/internal/fleet"
 	"esti/internal/hardware"
 	"esti/internal/model"
@@ -97,6 +109,7 @@ func main() {
 	prefixHit := flag.Float64("prefix-hit", 0, "static pipeline: fraction of requests whose prefix-len tokens hit a shared-prefix cache")
 	replicas := flag.Int("replicas", 0, "fleet: run N replicas of the decode-tier slice behind a router over a Zipf-template trace (0 = off)")
 	disaggregated := flag.Bool("disaggregated", false, "fleet: split the replicas into prefill and decode pools with per-request KV handoff")
+	faultPlan := flag.String("fault-plan", "", "fleet: inject faults, e.g. 'crash:1@2+4,slow:0@1-3x2.5,link:2.5-3' (crash:R@T[+D] drain:R@T[+D] slow:R@T1[-T2]xF link:T1[-T2]); compares no-fault vs recovered vs naive no-retry")
 	flag.Parse()
 
 	cfg, ok := modelByName(*modelName)
@@ -314,7 +327,7 @@ func main() {
 		}
 	}
 
-	if *replicas > 0 || *disaggregated {
+	if *replicas > 0 || *disaggregated || *faultPlan != "" {
 		n := *requests
 		if n < 2 {
 			n = 200
@@ -371,6 +384,44 @@ func main() {
 		if *disaggregated {
 			fmt.Printf("  KV handoff: %d transfers, %.1f GB total (%.1f MB/request)\n",
 				aff.Handoffs, aff.HandoffBytes/1e9, aff.HandoffBytes/float64(aff.Handoffs)/1e6)
+		}
+
+		if *faultPlan != "" {
+			plan, err := faults.Parse(*faultPlan)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fcf := fc
+			fcf.Faults = plan
+			faulted, err := fleet.Simulate(fcf, trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fcn := fcf
+			fcn.Recovery = fleet.RecoveryPolicy{MaxRetries: -1}
+			naive, err := fleet.Simulate(fcn, trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nfault injection (%s):\n", *faultPlan)
+			fmt.Printf("  no faults:  %.2f good tok/s/chip, %d/%d served\n",
+				aff.GoodputPerChip, aff.Completed, n)
+			fmt.Printf("  recovered:  %.2f good tok/s/chip (%.2fx), %d/%d served, %d retries, %d hedges (%d won), %d failed, %.1fk tokens wasted, recovery p99 %.2fs\n",
+				faulted.GoodputPerChip, ratio(faulted.GoodputPerChip, aff.GoodputPerChip),
+				faulted.Completed, n, faulted.Retries, faulted.Hedges, faulted.HedgeWins, faulted.Failed,
+				float64(faulted.WastedPrefillTokens+faulted.WastedDecodeTokens)/1e3, faulted.RecoveryP99)
+			fmt.Printf("  naive:      %.2f good tok/s/chip (%.2fx), %d/%d served, %d failed (no retries, health-blind routing)\n",
+				naive.GoodputPerChip, ratio(naive.GoodputPerChip, aff.GoodputPerChip),
+				naive.Completed, n, naive.Failed)
+			for i, r := range faulted.PerReplica {
+				if r.Crashes > 0 || r.Downtime > 0 || r.FinalHealth != "healthy" {
+					fmt.Printf("  replica %d (%s): %d crashes, %.2fs down, %d tokens wasted, ends %s\n",
+						i, r.Role, r.Crashes, r.Downtime, r.WastedTokens, r.FinalHealth)
+				}
+			}
 		}
 	}
 }

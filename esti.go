@@ -59,14 +59,28 @@
 // handed to a second engine, decode there, token-exact versus one engine
 // doing both phases.
 //
+// The fleet is fault-tolerant: a FaultPlan injects replica crashes,
+// graceful drains, straggler slowdowns, and handoff-link outages into the
+// simulation as scheduled events. Lost requests re-route with capped
+// exponential backoff, requests stuck on stragglers are hedged to a second
+// replica (first completion wins), low-tier traffic is shed first when the
+// fleet browns out, and a disaggregated fleet falls back to unified serving
+// when its decode pool dies — all tunable through FleetRecoveryPolicy and
+// measurable against the naive health-blind baseline (MaxRetries: -1). The
+// executable counterpart is EnginePair.GenerateWithFailure: a decode
+// replica dies mid-request, the retained prefill checkpoint re-imports
+// elsewhere, and token replay rebuilds the stream exactly.
+//
 // See examples/ for runnable scenarios (examples/continuousbatch for the
-// serving comparison, examples/fleet for multi-replica routing) and
-// cmd/estibench for the paper's tables and figures.
+// serving comparison, examples/fleet for multi-replica routing,
+// examples/faults for failure injection and recovery) and cmd/estibench
+// for the paper's tables and figures.
 package esti
 
 import (
 	"esti/internal/batching"
 	"esti/internal/engine"
+	"esti/internal/faults"
 	"esti/internal/fleet"
 	"esti/internal/hardware"
 	"esti/internal/model"
@@ -224,6 +238,18 @@ type (
 	// analytic configs (the Int8KV/Int8Wire bools are deprecated
 	// aliases).
 	EngineOptions = engine.Options
+	// FaultPlan is a deterministic schedule of replica and link failures
+	// for FleetConfig.Faults: build with its Crash/Drain/Straggle/LinkFail
+	// methods, parse one from the DSL with ParseFaultPlan, or generate one
+	// with RandomFaultPlan.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault transition inside a FaultPlan.
+	FaultEvent = faults.Event
+	// FleetRecoveryPolicy tunes the fleet's fault handling: retry budget
+	// and backoff, hedging, brownout watermark, and the decode-pool
+	// fallback threshold. MaxRetries -1 selects the naive health-blind
+	// baseline.
+	FleetRecoveryPolicy = fleet.RecoveryPolicy
 )
 
 // Routing policies.
@@ -243,7 +269,25 @@ var (
 	ErrNoSlots       = batching.ErrNoSlots
 	ErrDeadline      = batching.ErrDeadline
 	ErrOverloaded    = batching.ErrOverloaded
+	ErrReplicaDown   = batching.ErrReplicaDown
+	ErrHedged        = batching.ErrHedged
 )
+
+// ParseFaultPlan parses the compact fault DSL — comma-separated terms like
+// "crash:1@2+4" (replica 1 crashes at t=2, recovers 4s later),
+// "slow:0@1-3x2.5" (replica 0 runs 2.5x slow over [1,3)), "drain:2@5", and
+// "link:2.5-3" (handoff link down over [2.5,3)) — into a FaultPlan. This is
+// the same syntax estiserve's -fault-plan flag takes.
+func ParseFaultPlan(s string) (FaultPlan, error) {
+	return faults.Parse(s)
+}
+
+// RandomFaultPlan generates a seeded, always-valid fault plan over the
+// first `horizon` seconds of a `replicas`-replica fleet — the chaos-testing
+// input: same seed, same faults.
+func RandomFaultPlan(seed int64, replicas int, horizon float64) FaultPlan {
+	return faults.RandomPlan(seed, replicas, horizon)
+}
 
 // ZipfPrefixTrace builds a template-heavy workload whose template ranks
 // follow a Zipf(s) law: a handful of hot system prompts and a long tail,

@@ -92,3 +92,53 @@ func TestFacadePrefill(t *testing.T) {
 		t.Errorf("62B batch-1 prefill = %.3fs, want ~0.16s", res.Time)
 	}
 }
+
+// The fault-tolerance surface works through the facade alone: a parsed
+// fault plan injects a crash, the fleet recovers with retries, and the
+// sentinel family identifies what happened to each request.
+func TestFacadeFaults(t *testing.T) {
+	plan, err := ParseFaultPlan("crash:1@0.5+4, slow:0@1-3x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(plan.Events))
+	}
+	c := FleetConfig{
+		Replica: ContinuousConfig{
+			Model: PaLM540B(), Weights: Int8, System: TPUv4Slice(4, 4, 4),
+			FFN: FFN2DWeightStationary, Attn: AttnShardBatch,
+			Slots: 64, MaxLen: 2048 + 256, PrefixCache: true, Knobs: DefaultKnobs(),
+		},
+		Replicas: 2, Policy: Affinity, Faults: plan,
+		Recovery: FleetRecoveryPolicy{BrownoutBelow: 0.4},
+	}
+	trace := ZipfPrefixTrace(80, 0.02, 512, 8, 1.3, 1)
+	res, err := SimulateFleet(c, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Shed+res.ShedRetry+res.Failed != 80 {
+		t.Fatalf("outcome partition broken: %+v", res)
+	}
+	if res.Retries == 0 {
+		t.Error("a crash with in-flight work should force retries")
+	}
+	for _, o := range res.Outcomes {
+		if o.Err != nil && !errors.Is(o.Err, ErrReplicaDown) && !errors.Is(o.Err, ErrDeadline) &&
+			!errors.Is(o.Err, ErrOverloaded) {
+			t.Errorf("outcome error outside the exported family: %v", o.Err)
+		}
+	}
+	for _, w := range res.Wasted {
+		if !errors.Is(w.Cause, ErrReplicaDown) && !errors.Is(w.Cause, ErrHedged) {
+			t.Errorf("wasted-work cause outside the exported family: %v", w.Cause)
+		}
+	}
+	if rp := RandomFaultPlan(7, 4, 10); rp.Validate(4) != nil || len(rp.Events) == 0 {
+		t.Errorf("RandomFaultPlan invalid or empty: %+v", rp)
+	}
+	if _, err := ParseFaultPlan("crash:x@2"); err == nil {
+		t.Error("malformed DSL accepted")
+	}
+}

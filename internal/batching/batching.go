@@ -24,6 +24,34 @@
 // admits long cold prompts in bounded per-iteration chunks interleaved
 // with decode steps, capping the decode-latency stall an arrival can
 // inflict on running sequences (Result.MaxIterTime).
+//
+// # Sentinel errors
+//
+// This package is the single home of the sentinel family every serving
+// layer (serve, batching, fleet, the esti facade) shares; all of them are
+// checkable with errors.Is against wrapped returns:
+//
+//   - ErrInvalidConfig — a configuration that can never run (bad slot
+//     count, capacity, chunk size; an invalid fault plan). Identical to
+//     serve.ErrInvalidConfig.
+//   - ErrInfeasible — a deployment the perf model rejects at full
+//     occupancy. Identical to serve.ErrInfeasible.
+//   - ErrInvalidTrace — a malformed trace request (non-finite arrival,
+//     prefix outside the prompt): a bug, not load.
+//   - ErrPromptTooLong — Context+Gen exceed per-slot KV capacity; no slot
+//     could ever hold the request.
+//   - ErrNoSlots — admission refused with every slot occupied and the
+//     queue at its bound.
+//   - ErrDeadline — shed because the estimated completion already misses
+//     the request's deadline, at admission or on a post-crash retry (the
+//     fleet counts the two separately: Result.Shed vs Result.ShedRetry).
+//   - ErrOverloaded — a low-priority request shed under overload (queue
+//     cap or brownout) so higher tiers keep their SLO.
+//   - ErrReplicaDown — work lost to a replica failure: the terminal
+//     outcome after retries are exhausted, and the wasted-work cause for
+//     KV that died in a crash.
+//   - ErrHedged — the losing copy of a hedged request; its tokens count
+//     as wasted work, the caller still gets the winner's.
 package batching
 
 import (

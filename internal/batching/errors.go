@@ -33,4 +33,13 @@ var (
 	// ErrOverloaded sheds a low-priority request under overload so that
 	// higher tiers keep their SLO.
 	ErrOverloaded = errors.New("overloaded")
+	// ErrReplicaDown marks work lost to a replica failure: the fleet's
+	// terminal outcome for a request whose retries are exhausted (or never
+	// attempted, under a naive no-retry policy), and the wasted-work cause
+	// for KV discarded in a crash.
+	ErrReplicaDown = errors.New("replica down")
+	// ErrHedged tags the losing copy of a hedged request: the router
+	// duplicated work stuck on a straggler, the other copy finished first,
+	// and this copy's tokens are wasted work, not an error the caller sees.
+	ErrHedged = errors.New("lost hedge race")
 )

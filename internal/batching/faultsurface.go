@@ -1,0 +1,95 @@
+package batching
+
+// The fault surface: the handful of scheduler operations the fleet's fault
+// layer needs — losing a replica's state on a crash, evicting queued work on
+// a drain, enumerating in-flight requests for hedging, stretching iteration
+// time for stragglers, and converting a prefill pool to unified serving when
+// the decode pool dies.
+
+import "math"
+
+// LostWork describes one request's state on a replica at the moment the
+// replica lost it: how many KV positions and generated tokens are discarded
+// with the slot — the work a recovery has to redo.
+type LostWork struct {
+	Req *Request
+	// Prefilled counts the prompt positions resident in the slot's KV when
+	// it was lost (cached-prefix positions included: the retry must rebuild
+	// or re-attach them wherever it lands).
+	Prefilled int
+	// Decoded counts generated tokens discarded with the slot.
+	Decoded int
+	// Queued reports the request was still waiting for a slot — nothing was
+	// computed for it yet, so nothing is wasted.
+	Queued bool
+}
+
+// Crash rips the replica's state out from under it: every occupied slot and
+// every queued request is returned as LostWork, the slots and queue empty,
+// and the warm-template set clears (the prefix cache died with the replica).
+// The clock stays put; a recovering replica re-enters service via AdvanceTo
+// at its recovery time.
+func (s *Scheduler) Crash() []LostWork {
+	var lost []LostWork
+	for i, ss := range s.slots {
+		if ss == nil {
+			continue
+		}
+		lost = append(lost, LostWork{Req: ss.req, Prefilled: ss.ctxDone, Decoded: ss.produced})
+		ss.req.Slot = -1
+		s.slots[i] = nil
+		s.free++
+	}
+	for _, q := range s.queue {
+		lost = append(lost, LostWork{Req: q.r, Queued: true})
+	}
+	s.queue = nil
+	s.warm = map[int]bool{}
+	return lost
+}
+
+// EvictQueued hands back every queued (not yet admitted) request — the
+// drain path: in-flight slots finish locally, waiting work re-routes.
+func (s *Scheduler) EvictQueued() []*Request {
+	var out []*Request
+	for _, q := range s.queue {
+		out = append(out, q.r)
+	}
+	s.queue = nil
+	return out
+}
+
+// Requests lists every request the replica currently holds, slots first in
+// slot order, then the queue in queue order — the router's hedging scan.
+func (s *Scheduler) Requests() []*Request {
+	var out []*Request
+	for _, ss := range s.slots {
+		if ss != nil {
+			out = append(out, ss.req)
+		}
+	}
+	for _, q := range s.queue {
+		out = append(out, q.r)
+	}
+	return out
+}
+
+// SetSlowdown stretches every subsequent iteration and finish estimate by
+// factor — the straggler model. Factors below 1 (or non-finite) clamp to 1:
+// a replica never runs faster than the perf model says.
+func (s *Scheduler) SetSlowdown(factor float64) {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor < 1 {
+		factor = 1
+	}
+	s.slowdown = factor
+}
+
+// Slowdown returns the current straggler factor (1 when healthy).
+func (s *Scheduler) Slowdown() float64 { return s.slowdown }
+
+// SetUnified converts a prefill-only scheduler into a unified one — the
+// fleet's graceful-degradation fallback when the decode pool dies. Slots
+// mid-prefill continue into decode locally instead of completing at their
+// first token; there is no way back (recovered decode replicas serve new
+// traffic, they don't re-split a live replica).
+func (s *Scheduler) SetUnified() { s.prefillOnly = false }

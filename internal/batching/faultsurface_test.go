@@ -1,0 +1,174 @@
+package batching
+
+import (
+	"math"
+	"testing"
+)
+
+// stepUntilAdmitted steps the scheduler until at least want slots are
+// occupied (admission happens inside Step).
+func stepUntilAdmitted(t *testing.T, s *Scheduler, want int) {
+	t.Helper()
+	for i := 0; ; i++ {
+		if i > 1000 {
+			t.Fatalf("never admitted %d requests", want)
+		}
+		if occupied := 0; true {
+			for _, r := range s.Requests() {
+				if r.Slot >= 0 {
+					occupied++
+				}
+			}
+			if occupied >= want {
+				return
+			}
+		}
+		s.Step()
+	}
+}
+
+func TestCrashReturnsLostWork(t *testing.T) {
+	c := palm540bConfig()
+	c.Slots = 2
+	s, err := NewScheduler(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]*Request, 4)
+	for i := range reqs {
+		reqs[i] = &Request{ID: i, Context: 64, Gen: 32, Slot: -1}
+		s.Enqueue(reqs[i])
+	}
+	stepUntilAdmitted(t, s, 2)
+	s.Step() // produce at least one decode token in the admitted slots
+	lost := s.Crash()
+	if len(lost) != 4 {
+		t.Fatalf("crash returned %d pieces of lost work, want 4", len(lost))
+	}
+	inFlight, queued := 0, 0
+	for _, lw := range lost {
+		if lw.Queued {
+			queued++
+			if lw.Prefilled != 0 || lw.Decoded != 0 {
+				t.Errorf("queued request %d lost %d/%d tokens — nothing was computed for it",
+					lw.Req.ID, lw.Prefilled, lw.Decoded)
+			}
+			continue
+		}
+		inFlight++
+		if lw.Prefilled == 0 {
+			t.Errorf("in-flight request %d lost no prefilled positions", lw.Req.ID)
+		}
+		if lw.Req.Slot != -1 {
+			t.Errorf("request %d still claims slot %d after the crash", lw.Req.ID, lw.Req.Slot)
+		}
+	}
+	if inFlight != 2 || queued != 2 {
+		t.Fatalf("lost %d in-flight + %d queued, want 2+2", inFlight, queued)
+	}
+	if s.Busy() {
+		t.Error("crashed scheduler still busy")
+	}
+	if got := s.Requests(); len(got) != 0 {
+		t.Errorf("crashed scheduler still holds %d requests", len(got))
+	}
+	// The prefix cache died with the replica.
+	if s.HasTemplate(1) {
+		t.Error("warm-template set survived the crash")
+	}
+	// A crashed scheduler is reusable after recovery: re-enqueued work runs.
+	r := &Request{ID: 9, Context: 64, Gen: 4, Slot: -1}
+	s.Enqueue(r)
+	done := drain(t, s)
+	if len(done) != 1 || done[0] != r {
+		t.Fatalf("post-crash scheduler did not serve a fresh request")
+	}
+}
+
+func TestEvictQueuedKeepsInFlight(t *testing.T) {
+	c := palm540bConfig()
+	c.Slots = 2
+	s, err := NewScheduler(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Enqueue(&Request{ID: i, Context: 64, Gen: 8, Slot: -1})
+	}
+	stepUntilAdmitted(t, s, 2)
+	evicted := s.EvictQueued()
+	if len(evicted) != 2 {
+		t.Fatalf("evicted %d, want the 2 queued requests", len(evicted))
+	}
+	for _, r := range evicted {
+		if r.Slot >= 0 {
+			t.Errorf("evicted request %d was in slot %d", r.ID, r.Slot)
+		}
+	}
+	// The two in-flight requests still finish locally.
+	done := drain(t, s)
+	if len(done) != 2 {
+		t.Fatalf("drained %d in-flight requests after eviction, want 2", len(done))
+	}
+}
+
+func TestSetSlowdownStretchesTime(t *testing.T) {
+	c := palm540bConfig()
+	mk := func(factor float64) float64 {
+		s, err := NewScheduler(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetSlowdown(factor)
+		s.Enqueue(&Request{ID: 0, Context: 128, Gen: 32, Slot: -1})
+		drain(t, s)
+		return s.Now()
+	}
+	base := mk(1)
+	slow := mk(3)
+	if math.Abs(slow-3*base) > 1e-9 {
+		t.Errorf("3x straggler finished in %.6fs, want exactly 3x the healthy %.6fs", slow, base)
+	}
+	// Estimates stretch with the same factor.
+	s, _ := NewScheduler(c)
+	est1 := s.EstimateFinish(&Request{Context: 128, Gen: 32}, false)
+	s.SetSlowdown(3)
+	if est3 := s.EstimateFinish(&Request{Context: 128, Gen: 32}, false); math.Abs(est3-3*est1) > 1e-9 {
+		t.Errorf("estimate %.6f under 3x slowdown, want 3x %.6f", est3, est1)
+	}
+	// Degenerate factors clamp to 1: the perf model is the speed of light.
+	for _, bad := range []float64{0, 0.5, -2, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		s.SetSlowdown(bad)
+		if s.Slowdown() != 1 {
+			t.Errorf("SetSlowdown(%v) left factor %v, want clamp to 1", bad, s.Slowdown())
+		}
+	}
+}
+
+func TestSetUnifiedContinuesIntoDecode(t *testing.T) {
+	c := palm540bConfig()
+	c.Slots = 2
+	s, err := NewPrefillScheduler(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Request{ID: 0, Context: 64, Gen: 16, Slot: -1}
+	s.Enqueue(r)
+	s.SetUnified()
+	done := drain(t, s)
+	if len(done) != 1 {
+		t.Fatalf("unified-converted scheduler completed %d/1", len(done))
+	}
+	// A prefill-only run of the same request completes much earlier — the
+	// converted scheduler must have paid the decode phase.
+	p, err := NewPrefillScheduler(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Enqueue(&Request{ID: 1, Context: 64, Gen: 16, Slot: -1})
+	drain(t, p)
+	if s.Now() <= p.Now() {
+		t.Errorf("converted scheduler finished at %.4fs, prefill-only at %.4fs — no decode happened",
+			s.Now(), p.Now())
+	}
+}

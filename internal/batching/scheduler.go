@@ -44,6 +44,9 @@ type Scheduler struct {
 	queue []queued
 	now   float64
 	warm  map[int]bool
+	// slowdown stretches every iteration (and finish estimate) — the fleet's
+	// straggler-fault model. Always >= 1; NewScheduler starts it at 1.
+	slowdown float64
 
 	prefillMemo map[preKey]float64
 	stepMemo    map[stepKey]float64
@@ -70,6 +73,7 @@ func NewScheduler(c Config) (*Scheduler, error) {
 		slots:       make([]*slotState, c.Slots),
 		free:        c.Slots,
 		warm:        map[int]bool{},
+		slowdown:    1,
 		prefillMemo: map[preKey]float64{},
 		stepMemo:    map[stepKey]float64{},
 	}, nil
@@ -207,14 +211,14 @@ func (s *Scheduler) EstimateFinish(r *Request, decodeOnly bool) float64 {
 	remaining += r.Gen
 	if s.prefillOnly {
 		// A prefill pool's service is the prefill work alone.
-		return s.now + prefillWork
+		return s.now + prefillWork*s.slowdown
 	}
 	b := s.Load() + 1
 	if b > s.c.Slots {
 		b = s.c.Slots
 	}
 	step := s.decodeT(b, r.Context+r.Gen/2)
-	return s.now + prefillWork + float64(remaining)*step/float64(b)
+	return s.now + (prefillWork+float64(remaining)*step/float64(b))*s.slowdown
 }
 
 // Step runs one scheduler iteration — admissions, chunked prefill, one
@@ -343,6 +347,7 @@ func (s *Scheduler) Step() (iterTime float64, done []*Request) {
 		}
 	}
 
+	iterTime *= s.slowdown
 	nActive := c.Slots - s.free
 	s.now += iterTime
 	s.iterations++

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Plan from the compact comma-separated syntax estiserve's
+// -fault-plan flag accepts:
+//
+//	crash:R@T        crash replica R at time T (stays down)
+//	crash:R@T+D      crash replica R at time T, recover D seconds later
+//	drain:R@T        gracefully drain replica R at time T (stays down)
+//	drain:R@T+D      drain at T, come back D seconds later
+//	slow:R@T1-T2xF   replica R runs F× slower over [T1, T2)
+//	slow:R@T1xF      replica R runs F× slower from T1 on
+//	link:T1-T2       handoff link down over [T1, T2)
+//	link:T1          handoff link down from T1 on
+//
+// Example: "crash:1@2+4,slow:0@1-3x2.5,link:2.5-3". Parse validates syntax
+// only; Plan.Validate (called by the fleet) checks replica indices against
+// the actual fleet size.
+func Parse(s string) (Plan, error) {
+	var p Plan
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		verb, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: %q: want verb:spec", part)
+		}
+		var err error
+		switch verb {
+		case "crash", "drain":
+			err = parseCrash(&p, verb, rest)
+		case "slow":
+			err = parseSlow(&p, rest)
+		case "link":
+			err = parseLink(&p, rest)
+		default:
+			return Plan{}, fmt.Errorf("faults: %q: unknown verb %q (want crash, drain, slow, or link)", part, verb)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("faults: %q: %w", part, err)
+		}
+	}
+	return p, nil
+}
+
+// parseCrash handles "R@T" and "R@T+D" for crash and drain.
+func parseCrash(p *Plan, verb, rest string) error {
+	repStr, timeStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return fmt.Errorf("want R@T or R@T+D")
+	}
+	rep, err := strconv.Atoi(repStr)
+	if err != nil {
+		return fmt.Errorf("replica %q: %v", repStr, err)
+	}
+	at, dur, hasDur, err := cutFloat(timeStr, "+")
+	if err != nil {
+		return err
+	}
+	rec := -1.0
+	if hasDur {
+		rec = at + dur
+	}
+	if verb == "drain" {
+		p.Drain(rep, at, rec)
+	} else {
+		p.Crash(rep, at, rec)
+	}
+	return nil
+}
+
+// parseSlow handles "R@T1-T2xF" and "R@T1xF".
+func parseSlow(p *Plan, rest string) error {
+	repStr, spec, ok := strings.Cut(rest, "@")
+	if !ok {
+		return fmt.Errorf("want R@T1-T2xF")
+	}
+	rep, err := strconv.Atoi(repStr)
+	if err != nil {
+		return fmt.Errorf("replica %q: %v", repStr, err)
+	}
+	window, facStr, ok := strings.Cut(spec, "x")
+	if !ok {
+		return fmt.Errorf("want a xF slowdown factor in %q", spec)
+	}
+	factor, err := strconv.ParseFloat(facStr, 64)
+	if err != nil {
+		return fmt.Errorf("factor %q: %v", facStr, err)
+	}
+	from, until, hasUntil, err := cutFloat(window, "-")
+	if err != nil {
+		return err
+	}
+	if !hasUntil {
+		until = -1
+	}
+	p.Straggle(rep, from, until, factor)
+	return nil
+}
+
+// parseLink handles "T1-T2" and "T1".
+func parseLink(p *Plan, rest string) error {
+	from, until, hasUntil, err := cutFloat(rest, "-")
+	if err != nil {
+		return err
+	}
+	if !hasUntil {
+		until = -1
+	}
+	p.LinkFail(from, until)
+	return nil
+}
+
+// cutFloat parses "A" or "A<sep>B" into one or two floats.
+func cutFloat(s, sep string) (a, b float64, hasB bool, err error) {
+	aStr, bStr, hasB := strings.Cut(s, sep)
+	if a, err = strconv.ParseFloat(aStr, 64); err != nil {
+		return 0, 0, false, fmt.Errorf("time %q: %v", aStr, err)
+	}
+	if !hasB {
+		return a, 0, false, nil
+	}
+	if b, err = strconv.ParseFloat(bStr, 64); err != nil {
+		return 0, 0, false, fmt.Errorf("time %q: %v", bStr, err)
+	}
+	return a, b, true, nil
+}

@@ -1,0 +1,303 @@
+package fleet
+
+// Fault handling: how the router reacts to the injected faults.Plan —
+// crash/drain/straggle/link events, retries with capped exponential
+// backoff, straggler hedging, brownout shedding, and the unified-serving
+// fallback when the decode pool dies.
+
+import (
+	"fmt"
+	"math"
+
+	"esti/internal/batching"
+	"esti/internal/faults"
+)
+
+// Recovery defaults: three re-route attempts, 50 ms base backoff doubling
+// to a 1 s cap.
+const (
+	defaultMaxRetries = 3
+	defaultBackoff    = 0.05
+	defaultBackoffCap = 1.0
+)
+
+// RecoveryPolicy tunes the router's fault handling. The zero value selects
+// the defaults; MaxRetries -1 selects the naive baseline that measures what
+// the machinery is worth.
+type RecoveryPolicy struct {
+	// MaxRetries caps per-request re-route attempts after the request's
+	// last copy is lost to a replica failure (0 = default 3). -1 is the
+	// naive health-blind baseline: crashed replicas keep receiving traffic
+	// and silently eat their queues, lost requests are never retried, and
+	// no hedging or fallback happens — the failure mode the fault layer
+	// exists to prevent, kept runnable so the difference is measurable.
+	MaxRetries int
+	// Backoff is the delay before a lost request's first re-route,
+	// doubling per attempt up to BackoffCap (defaults 50 ms / 1 s). A
+	// retry whose completion estimate already misses the request's
+	// deadline is shed as ErrDeadline and counted in Result.ShedRetry.
+	Backoff    float64
+	BackoffCap float64
+	// NoHedge disables straggler hedging. By default, when a replica
+	// degrades, every request it holds is duplicated once to the best
+	// other live replica; the first completed copy wins and the loser's
+	// tokens are booked as wasted work under ErrHedged.
+	NoHedge bool
+	// BrownoutBelow sheds Priority<=0 arrivals with ErrOverloaded while
+	// the live ingress-replica fraction is below this watermark (0 =
+	// disabled). High-tier traffic is never brownout-shed: capacity
+	// contracts around it.
+	BrownoutBelow float64
+	// FallbackDecodeMin is the live decode-pool size below which a
+	// disaggregated fleet falls back to unified serving on the surviving
+	// prefill replicas (default 1: fall back only when the pool is empty).
+	// The fallback is one-way for the run.
+	FallbackDecodeMin int
+}
+
+// applyFault transitions replica health (and link state) for one scheduled
+// fault event, re-routing or hedging work as the state machine demands.
+func (s *sim) applyFault(e event) {
+	f := e.fault
+	switch f.Kind {
+	case faults.LinkDown:
+		s.linkDown = true
+		return
+	case faults.LinkUp:
+		s.linkDown = false
+		held := s.held
+		s.held = nil
+		// Buffered transfers go out back-to-back now that the link is up.
+		for _, h := range held {
+			h.t = e.t + s.handoffDelay(h.req)
+			h.seq = s.nextSeq()
+			s.events.push(h)
+		}
+		return
+	}
+	rep := s.all[f.Replica]
+	switch f.Kind {
+	case faults.Crash:
+		if rep.health == faults.Down {
+			return
+		}
+		rep.stats.Crashes++
+		s.crash(rep, e.t)
+	case faults.Drain:
+		if rep.health == faults.Down || rep.health == faults.Draining {
+			return
+		}
+		rep.health = faults.Draining
+		// Queued work re-routes immediately; in-flight slots finish
+		// locally, then run() takes the replica Down.
+		for _, r := range rep.s.EvictQueued() {
+			st := s.states[r]
+			st.live--
+			if st.done || st.live > 0 {
+				continue
+			}
+			s.events.push(event{t: e.t, seq: s.nextSeq(), kind: evRetry, req: r})
+		}
+		if !rep.s.Busy() {
+			s.setDown(rep, e.t)
+		}
+	case faults.Recover:
+		switch rep.health {
+		case faults.Down:
+			rep.health = faults.Recovering
+			rep.stats.Downtime += e.t - rep.downSince
+			rep.s.AdvanceTo(e.t)
+		case faults.Draining:
+			// Recover during a drain cancels it.
+			rep.health = faults.Healthy
+		}
+	case faults.SlowStart:
+		if rep.health == faults.Down {
+			return
+		}
+		rep.s.SetSlowdown(f.Factor)
+		if rep.health == faults.Healthy || rep.health == faults.Recovering {
+			rep.health = faults.Degraded
+		}
+		s.hedgeStraggler(rep, e.t)
+	case faults.SlowEnd:
+		rep.s.SetSlowdown(1)
+		if rep.health == faults.Degraded {
+			rep.health = faults.Healthy
+		}
+	}
+}
+
+// crash loses the replica's entire state: every resident request's KV and
+// tokens go to the wasted ledger, and each request whose last copy died is
+// retried (or failed). In-flight handoffs the replica already sent survive
+// — the exported KV is self-contained, exactly like EnginePair's SlotKV.
+func (s *sim) crash(rep *replica, t float64) {
+	rep.health = faults.Down
+	rep.downSince = t
+	for _, lw := range rep.s.Crash() {
+		st := s.states[lw.Req]
+		st.live--
+		if lw.Prefilled+lw.Decoded > 0 {
+			s.waste(lw.Req.ID, rep, batching.ErrReplicaDown, lw.Prefilled, lw.Decoded)
+		}
+		delete(s.origin, lw.Req)
+		if st.done || st.live > 0 {
+			continue
+		}
+		s.retryOrFail(st, t)
+	}
+	s.checkFallback()
+}
+
+// setDown finishes a drain: the replica served its last in-flight sequence
+// and leaves the fleet (losing nothing).
+func (s *sim) setDown(rep *replica, t float64) {
+	rep.health = faults.Down
+	rep.downSince = t
+	s.checkFallback()
+}
+
+// retryOrFail re-routes a request whose last live copy was just lost:
+// capped exponential backoff, then evRetry re-enters the router (which
+// sheds it as ErrDeadline if the SLO is already unmeetable). With retries
+// exhausted — or under the naive policy, immediately — the request fails
+// for good as ErrReplicaDown.
+func (s *sim) retryOrFail(st *reqState, t float64) {
+	if st.firstLoss < 0 {
+		st.firstLoss = t
+	}
+	if st.attempts >= s.maxRetries {
+		s.res.Failed++
+		s.setOutcome(st, -1, fmt.Errorf("fleet: %w: request %d lost after %d retries",
+			batching.ErrReplicaDown, st.orig.ID, st.attempts))
+		return
+	}
+	st.attempts++
+	s.res.Retries++
+	d := s.backoff * math.Pow(2, float64(st.attempts-1))
+	if d > s.backoffCap {
+		d = s.backoffCap
+	}
+	s.events.push(event{t: t + d, seq: s.nextSeq(), kind: evRetry, req: st.orig})
+}
+
+// hedgeStraggler duplicates every request stuck on a newly degraded replica
+// to the best other live ingress replica (once per request): first
+// completed copy wins, the loser's tokens become wasted work. Warm-template
+// duplicates recover cheaply through the target's prefix cache.
+func (s *sim) hedgeStraggler(rep *replica, t float64) {
+	if s.naive || s.c.Recovery.NoHedge {
+		return
+	}
+	for _, r := range rep.s.Requests() {
+		st := s.states[r]
+		if st.done || st.hedged || st.live > 1 {
+			continue
+		}
+		tgt := s.bestOther(rep)
+		if tgt == nil {
+			continue
+		}
+		clone := *st.orig
+		clone.Slot = -1
+		clone.Admitted, clone.Done = 0, 0
+		cp := &clone
+		s.states[cp] = st
+		st.hedged = true
+		st.live++
+		s.res.Hedges++
+		tgt.s.AdvanceTo(t)
+		tgt.s.Enqueue(cp)
+		tgt.stats.Routed++
+	}
+}
+
+// bestOther returns the lowest-effective-load ingress replica other than
+// rep that is routable and not degraded, or nil if none exists — hedging
+// onto another straggler would duplicate the problem, not race it.
+func (s *sim) bestOther(rep *replica) *replica {
+	var best *replica
+	for _, cand := range s.ingress {
+		if cand == rep || !cand.health.Routable() || cand.health == faults.Degraded {
+			continue
+		}
+		if best == nil || s.effLoad(cand) < s.effLoad(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// waste books one discarded piece of computed work, exactly once.
+func (s *sim) waste(reqID int, on *replica, cause error, prefilled, decoded int) {
+	s.res.Wasted = append(s.res.Wasted, WastedWork{
+		ReqID: reqID, Replica: on.idx, Cause: cause,
+		PrefillTokens: prefilled, DecodedTokens: decoded,
+	})
+	s.res.WastedPrefillTokens += prefilled
+	s.res.WastedDecodeTokens += decoded
+	on.stats.WastedTokens += prefilled + decoded
+}
+
+// brownout reports whether low-tier arrivals should be shed: the live
+// ingress fraction is below the configured watermark.
+func (s *sim) brownout() bool {
+	w := s.c.Recovery.BrownoutBelow
+	if s.naive || w <= 0 {
+		return false
+	}
+	live, total := s.liveFraction()
+	return float64(live) < w*float64(total)
+}
+
+// liveFraction counts routable ingress replicas out of the total.
+func (s *sim) liveFraction() (live, total int) {
+	for _, rep := range s.ingress {
+		if rep.health.Routable() {
+			live++
+		}
+	}
+	return live, len(s.ingress)
+}
+
+// checkFallback converts the prefill pool to unified serving when the live
+// decode pool shrinks below the watermark — graceful degradation instead of
+// a fleet that prefills forever and decodes nothing. One-way for the run.
+func (s *sim) checkFallback() {
+	if !s.c.Disaggregated || s.fallback || s.naive {
+		return
+	}
+	live := 0
+	for _, rep := range s.decode {
+		if rep.health.Routable() {
+			live++
+		}
+	}
+	if live >= s.minDecode {
+		return
+	}
+	s.fallback = true
+	for _, rep := range s.ingress {
+		rep.prefill = false
+		rep.s.SetUnified()
+		rep.stats.Role = "prefill→unified"
+	}
+}
+
+// failHeld drops handoffs stranded on a link that never recovered: the
+// transferred KV is wasted and each stranded request re-routes from
+// scratch (prefill and all) or fails.
+func (s *sim) failHeld() {
+	held := s.held
+	s.held = nil
+	for _, h := range held {
+		st := s.states[h.req]
+		st.live--
+		s.waste(h.req.ID, h.from, batching.ErrReplicaDown, h.req.Context, 1)
+		if st.done || st.live > 0 {
+			continue
+		}
+		s.retryOrFail(st, s.lastT)
+	}
+}

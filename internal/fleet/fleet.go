@@ -8,7 +8,7 @@
 // refused, and what does disaggregating prefill from decode buy at fleet
 // scale.
 //
-// Three mechanisms, all behind one Simulate call:
+// Four mechanisms, all behind one Simulate call:
 //
 //   - Prefix-affinity routing: a request opening with a known template is
 //     sent to the replica whose cache already holds that prefix, turning
@@ -22,6 +22,19 @@
 //     sheds work the perf model says cannot finish in time (ErrDeadline)
 //     and low-priority work when queues saturate (ErrOverloaded), keeping
 //     chips on tokens that still count toward goodput.
+//   - Fault tolerance: a deterministic faults.Plan injects replica crashes,
+//     graceful drains, straggler slowdowns, and handoff-link outages into
+//     the same event heap. Replicas move through a health state machine,
+//     crashed requests re-route with capped exponential backoff (or are
+//     shed as ErrDeadline when the retry cannot make its SLO, or fail as
+//     ErrReplicaDown when retries run out), stragglers get their stuck
+//     work hedged to a second replica (first completion wins, the loser's
+//     tokens are wasted work under ErrHedged), and the fleet degrades
+//     gracefully — disaggregated serving falls back to unified when the
+//     decode pool dies, and a brownout watermark sheds low-tier arrivals
+//     while capacity is short. RecoveryPolicy tunes all of it; Result's
+//     fault accounting (Retries, Hedges, Wasted*, per-replica Downtime,
+//     RecoveryP99) turns goodput-under-faults into a measured number.
 package fleet
 
 import (
@@ -33,6 +46,7 @@ import (
 	"sort"
 
 	"esti/internal/batching"
+	"esti/internal/faults"
 )
 
 // Policy selects how the router picks a replica for each arrival.
@@ -96,11 +110,23 @@ type Config struct {
 	HandoffBandwidth float64
 	// Seed drives the Random policy.
 	Seed int64
+	// Faults schedules deterministic fault injection: crashes, drains,
+	// straggler windows, link outages. The zero value is fault-free. The
+	// plan is validated against the fleet size (wrapped ErrInvalidConfig
+	// on mismatch); replica indices follow the fleet's replica order
+	// (prefill pool first in disaggregated mode).
+	Faults faults.Plan
+	// Recovery tunes how the router survives the fault plan. The zero
+	// value is the sensible default (3 retries, 50 ms base backoff,
+	// hedging on); MaxRetries -1 selects the naive health-blind baseline.
+	Recovery RecoveryPolicy
 }
 
 // Outcome records what the fleet did with one request: the ingress replica
-// it was routed to (-1 if refused before routing) and the sentinel error it
-// was shed with (nil if it completed).
+// it was last routed to (-1 if refused before routing or failed with the
+// fleet down) and the sentinel error it ended with (nil if it completed).
+// There is exactly one Outcome per trace request, updated in place across
+// retries, so Outcomes always partitions the trace.
 type Outcome struct {
 	Req     *batching.Request
 	Replica int
@@ -109,17 +135,30 @@ type Outcome struct {
 
 // ReplicaStats is one replica's share of the run.
 type ReplicaStats struct {
-	// Role is "unified", "prefill", or "decode".
+	// Role is "unified", "prefill", "decode", or "prefill→unified" after a
+	// graceful-degradation fallback.
 	Role string
 	// Routed counts requests this replica admitted at ingress (arrivals
 	// for unified/prefill replicas, handoffs for decode replicas).
 	Routed int
 	// Completed counts requests whose final token this replica produced.
 	Completed int
-	// LocalTokens counts tokens this replica itself generated: Gen per
-	// unified completion, 1 per prefill handoff, Gen-1 per decode
-	// completion — so the pools' tokens sum to the fleet's GenTokens.
+	// LocalTokens counts tokens this replica itself generated and that the
+	// fleet kept: Gen per unified completion, 1 per handed-off prefill
+	// whose request completed, Gen-1 per decode completion — so the pools'
+	// tokens sum to the fleet's GenTokens; discarded work is in the wasted
+	// ledger instead.
 	LocalTokens int
+	// Crashes counts Crash fault events this replica absorbed.
+	Crashes int
+	// Downtime is total time spent Down (crash to recovery, or to the end
+	// of the run).
+	Downtime float64
+	// WastedTokens counts KV positions and generated tokens discarded on
+	// this replica (crash losses and lost hedge races).
+	WastedTokens int
+	// FinalHealth is the replica's health state when the run ended.
+	FinalHealth string
 }
 
 // Result aggregates a fleet simulation.
@@ -127,9 +166,16 @@ type Result struct {
 	Completed int
 	// Rejected counts requests no slot could ever hold (ErrPromptTooLong).
 	Rejected int
-	// Shed counts admissible requests the router refused for SLO reasons
-	// (ErrDeadline, ErrOverloaded).
+	// Shed counts admissible requests the router refused at admission for
+	// SLO reasons (ErrDeadline, ErrOverloaded — including brownout sheds).
 	Shed int
+	// ShedRetry counts post-crash retries shed because the re-route
+	// estimate already missed the deadline (ErrDeadline) — kept separate
+	// from admission-time Shed so recovery pressure is visible.
+	ShedRetry int
+	// Failed counts requests lost to replica failures for good: retries
+	// exhausted, or never retried under the naive policy (ErrReplicaDown).
+	Failed int
 	// DeadlineMisses counts completed requests that finished past their
 	// deadline: served, but not goodput.
 	DeadlineMisses int
@@ -146,30 +192,80 @@ type Result struct {
 	GoodputPerChip float64
 	MeanLatency    float64
 	P50, P99       float64
-	// AffinityHits/Misses count templated admissions that landed on a
+	// AffinityHits/Misses count templated arrivals that landed on a
 	// replica already warm (or not) for their template — the routing-level
 	// hit rate, tracked under every policy so baselines are comparable.
 	AffinityHits   int
 	AffinityMisses int
-	// Handoffs and HandoffBytes measure the disaggregated KV traffic.
+	// Handoffs and HandoffBytes measure the disaggregated KV traffic
+	// (retransmissions after a failed handoff count again).
 	Handoffs     int
 	HandoffBytes float64
-	PerReplica   []ReplicaStats
-	Outcomes     []Outcome
+	// Retries counts post-loss re-route attempts; Hedges counts duplicate
+	// copies launched against stragglers, HedgeWins those races the
+	// duplicate won.
+	Retries   int
+	Hedges    int
+	HedgeWins int
+	// WastedPrefillTokens / WastedDecodeTokens total the KV positions and
+	// generated tokens the fleet computed and then discarded (crash
+	// losses, lost hedge races, stranded handoffs); Wasted itemizes them.
+	// Every discarded token is counted exactly once.
+	WastedPrefillTokens int
+	WastedDecodeTokens  int
+	Wasted              []WastedWork
+	// RecoveryP99 is the p99 of completion-minus-first-loss over requests
+	// that survived losing a replica (0 when none did): how long recovery
+	// takes at the tail.
+	RecoveryP99 float64
+	PerReplica  []ReplicaStats
+	Outcomes    []Outcome
 }
 
-// replica couples a scheduler with its fleet role.
+// WastedWork is one discarded piece of computed work: KV positions and
+// generated tokens that cost chip-time but never reached a caller.
+type WastedWork struct {
+	ReqID int
+	// Replica is where the discarded copy was computed (for in-flight
+	// handoffs, the prefill replica that produced the KV).
+	Replica int
+	// Cause is ErrReplicaDown for crash and stranded-handoff losses,
+	// ErrHedged for lost hedge races.
+	Cause error
+	// PrefillTokens counts discarded prompt KV positions, DecodedTokens
+	// discarded generated tokens.
+	PrefillTokens int
+	DecodedTokens int
+}
+
+// replica couples a scheduler with its fleet role and health.
 type replica struct {
+	idx     int
 	s       *batching.Scheduler
 	prefill bool
-	stats   ReplicaStats
+	health  faults.Health
+	// downSince is when the replica last went Down (for Downtime).
+	downSince float64
+	stats     ReplicaStats
 }
 
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evHandoff
+	evRetry
+	evFault
+)
+
 type event struct {
-	t       float64
-	seq     int
-	handoff bool
-	req     *batching.Request
+	t    float64
+	seq  int
+	kind eventKind
+	req  *batching.Request
+	// from is the prefill replica that produced an evHandoff's KV.
+	from  *replica
+	fault faults.Event
 }
 
 type eventHeap []event
@@ -187,6 +283,26 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 func (h *eventHeap) push(e event) { heap.Push(h, e) }
 func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
 
+// reqState is the router's view of one trace request across retries and
+// hedge copies: every copy's *Request maps to the same state.
+type reqState struct {
+	orig *batching.Request
+	// live counts copies currently in the system (queued, in a slot, or
+	// in handoff flight).
+	live int
+	// done marks the request served; later copies are wasted work.
+	done bool
+	// hedged marks that a duplicate was launched (at most one per request).
+	hedged bool
+	// attempts counts post-loss re-routes consumed.
+	attempts int
+	// firstLoss is when the request first lost a replica (-1 = never).
+	firstLoss float64
+	// outIdx is the request's slot in Result.Outcomes (-1 until first
+	// disposition); retries update the entry in place.
+	outIdx int
+}
+
 type sim struct {
 	c       Config
 	ingress []*replica // unified replicas, or the prefill pool
@@ -199,6 +315,20 @@ type sim struct {
 	kvBytes float64 // handoff bytes per prompt token
 	bw      float64
 	lat     []float64
+
+	// Fault state.
+	states     map[*batching.Request]*reqState
+	origin     map[*batching.Request]*replica // in-handoff request → prefill replica owed first-token credit
+	linkDown   bool
+	held       []event // handoffs buffered while the link is down
+	fallback   bool    // prefill pool converted to unified serving
+	naive      bool    // Recovery.MaxRetries < 0: health-blind, no retries, no hedges
+	maxRetries int
+	backoff    float64
+	backoffCap float64
+	minDecode  int
+	recov      []float64 // completion − firstLoss per recovered request
+	lastT      float64   // latest simulation time observed
 }
 
 // Simulate routes the trace through the fleet and returns the aggregate
@@ -213,19 +343,30 @@ func Simulate(c Config, trace batching.Trace) (Result, error) {
 	reqs := make([]batching.Request, len(trace.Requests))
 	copy(reqs, trace.Requests)
 	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	// Fault events enter the heap first: an equal-time fault fires before
+	// the arrivals of that instant (seq breaks the tie deterministically).
+	for _, f := range c.Faults.Sorted() {
+		s.events.push(event{t: f.At, seq: s.nextSeq(), kind: evFault, fault: f})
+	}
 	for i := range reqs {
 		if err := c.Replica.CheckRequest(reqs[i]); errors.Is(err, batching.ErrInvalidTrace) {
 			return Result{}, err
 		}
 		reqs[i].Slot = -1
-		s.events.push(event{t: reqs[i].Arrival, seq: s.nextSeq(), req: &reqs[i]})
+		s.states[&reqs[i]] = &reqState{orig: &reqs[i], firstLoss: -1, outIdx: -1}
+		s.events.push(event{t: reqs[i].Arrival, seq: s.nextSeq(), kind: evArrival, req: &reqs[i]})
 	}
 	s.run()
 	return s.finish(), nil
 }
 
 func newSim(c Config) (*sim, error) {
-	s := &sim{c: c, rng: rand.New(rand.NewSource(c.Seed))}
+	s := &sim{
+		c:      c,
+		rng:    rand.New(rand.NewSource(c.Seed)),
+		states: map[*batching.Request]*reqState{},
+		origin: map[*batching.Request]*replica{},
+	}
 	mk := func(prefill bool, role string) error {
 		var sch *batching.Scheduler
 		var err error
@@ -237,7 +378,7 @@ func newSim(c Config) (*sim, error) {
 		if err != nil {
 			return err
 		}
-		r := &replica{s: sch, prefill: prefill, stats: ReplicaStats{Role: role}}
+		r := &replica{idx: len(s.all), s: sch, prefill: prefill, stats: ReplicaStats{Role: role}}
 		s.all = append(s.all, r)
 		if prefill || !c.Disaggregated {
 			s.ingress = append(s.ingress, r)
@@ -279,16 +420,42 @@ func newSim(c Config) (*sim, error) {
 			}
 		}
 	}
+	if err := c.Faults.Validate(len(s.all)); err != nil {
+		return nil, fmt.Errorf("fleet: %w: %v", batching.ErrInvalidConfig, err)
+	}
+	p := c.Recovery
+	s.naive = p.MaxRetries < 0
+	s.maxRetries = p.MaxRetries
+	if s.maxRetries <= 0 {
+		s.maxRetries = defaultMaxRetries
+	}
+	if s.naive {
+		s.maxRetries = 0
+	}
+	s.backoff = p.Backoff
+	if s.backoff <= 0 {
+		s.backoff = defaultBackoff
+	}
+	s.backoffCap = p.BackoffCap
+	if s.backoffCap <= 0 {
+		s.backoffCap = defaultBackoffCap
+	}
+	s.minDecode = p.FallbackDecodeMin
+	if s.minDecode < 1 {
+		s.minDecode = 1
+	}
 	return s, nil
 }
 
 func (s *sim) nextSeq() int { s.seq++; return s.seq }
 
-// run is the fleet's event loop: repeatedly step the busy replica with the
-// earliest clock, unless the next router event (arrival or KV handoff)
-// precedes every busy replica — then deliver that event. Replica iterations
-// are atomic (a request arriving mid-iteration queues until the next), the
-// same granularity the single-replica Simulate has.
+// run is the fleet's event loop: repeatedly step the busy live replica with
+// the earliest clock, unless the next router event (arrival, handoff,
+// retry, or fault) precedes every busy replica — then deliver that event.
+// Replica iterations are atomic (a request arriving mid-iteration queues
+// until the next), the same granularity the single-replica Simulate has.
+// Down replicas never step: under the naive policy their queues sit there,
+// silently eaten, until finish() books them as failures.
 func (s *sim) run() {
 	for {
 		next := math.Inf(1)
@@ -297,12 +464,18 @@ func (s *sim) run() {
 		}
 		var b *replica
 		for _, r := range s.all {
+			if r.health == faults.Down {
+				continue
+			}
 			if r.s.Busy() && r.s.Now() < next && (b == nil || r.s.Now() < b.s.Now()) {
 				b = r
 			}
 		}
 		if b != nil {
 			_, done := b.s.Step()
+			if b.s.Now() > s.lastT {
+				s.lastT = b.s.Now()
+			}
 			for _, req := range done {
 				if b.prefill {
 					s.handoff(b, req)
@@ -310,33 +483,71 @@ func (s *sim) run() {
 					s.complete(b, req)
 				}
 			}
+			if b.health == faults.Draining && !b.s.Busy() {
+				// Drained dry: the last in-flight sequence finished.
+				s.setDown(b, b.s.Now())
+			}
 			continue
 		}
 		if len(s.events) == 0 {
+			if len(s.held) > 0 {
+				// The link never came back: the buffered handoffs' KV is
+				// stranded at the senders. Fail them (→ retry from scratch).
+				s.failHeld()
+				continue
+			}
 			return
 		}
 		e := s.events.pop()
-		if e.handoff {
+		if e.t > s.lastT {
+			s.lastT = e.t
+		}
+		switch e.kind {
+		case evFault:
+			s.applyFault(e)
+		case evHandoff:
 			s.admitDecode(e)
-		} else {
-			s.route(e)
+		case evRetry:
+			s.deliver(e.req, e.t, true)
+		default:
+			s.deliver(e.req, e.t, false)
 		}
 	}
 }
 
-// route delivers one arrival: screen it, pick an ingress replica, apply SLO
-// admission, enqueue.
-func (s *sim) route(e event) {
-	r := e.req
-	if err := s.c.Replica.CheckRequest(*r); err != nil {
-		s.res.Rejected++
-		s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: r, Replica: -1, Err: err})
+// deliver routes one arrival or retry: screen it, pick a live ingress
+// replica, apply brownout and SLO admission, enqueue.
+func (s *sim) deliver(r *batching.Request, t float64, isRetry bool) {
+	st := s.states[r]
+	if st.done {
 		return
 	}
-	idx := s.pick(r)
+	if !isRetry {
+		if err := s.c.Replica.CheckRequest(*r); err != nil {
+			s.res.Rejected++
+			s.setOutcome(st, -1, err)
+			return
+		}
+	}
+	cand := s.routable()
+	if len(cand) == 0 {
+		// Nowhere to go: every ingress replica is down or draining. The
+		// router holds the request and retries after backoff (which fails
+		// it once attempts run out).
+		s.retryOrFail(st, t)
+		return
+	}
+	if !isRetry && r.Priority <= 0 && s.brownout() {
+		live, total := s.liveFraction()
+		s.res.Shed++
+		s.setOutcome(st, -1, fmt.Errorf("fleet: %w: request %d shed in brownout (%d/%d replicas live)",
+			batching.ErrOverloaded, r.ID, live, total))
+		return
+	}
+	idx := s.pick(r, cand)
 	target := s.ingress[idx]
-	target.s.AdvanceTo(e.t)
-	if r.Template != 0 && s.c.Replica.PrefixCache {
+	target.s.AdvanceTo(t)
+	if !isRetry && r.Template != 0 && s.c.Replica.PrefixCache {
 		if target.s.HasTemplate(r.Template) {
 			s.res.AffinityHits++
 		} else {
@@ -344,29 +555,68 @@ func (s *sim) route(e event) {
 		}
 	}
 	if r.Deadline > 0 && s.estimate(target, r) > r.Deadline {
-		s.res.Shed++
-		s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: r, Replica: idx,
-			Err: fmt.Errorf("fleet: %w: request %d estimated past %.3f", batching.ErrDeadline, r.ID, r.Deadline)})
+		if isRetry {
+			s.res.ShedRetry++
+			s.setOutcome(st, idx, fmt.Errorf("fleet: %w: request %d retry %d estimated past %.3f",
+				batching.ErrDeadline, r.ID, st.attempts, r.Deadline))
+		} else {
+			s.res.Shed++
+			s.setOutcome(st, idx, fmt.Errorf("fleet: %w: request %d estimated past %.3f",
+				batching.ErrDeadline, r.ID, r.Deadline))
+		}
 		return
 	}
-	if s.c.MaxQueue > 0 && target.s.Pending() >= s.c.MaxQueue && r.Priority <= 0 {
+	if !isRetry && s.c.MaxQueue > 0 && target.s.Pending() >= s.c.MaxQueue && r.Priority <= 0 {
 		s.res.Shed++
-		s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: r, Replica: idx,
-			Err: fmt.Errorf("fleet: %w: request %d, queue %d full", batching.ErrOverloaded, r.ID, target.s.Pending())})
+		s.setOutcome(st, idx, fmt.Errorf("fleet: %w: request %d, queue %d full",
+			batching.ErrOverloaded, r.ID, target.s.Pending()))
 		return
 	}
 	target.s.Enqueue(r)
 	target.stats.Routed++
-	s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: r, Replica: idx})
+	st.live++
+	s.setOutcome(st, idx, nil)
 }
 
-// pick chooses the ingress replica for a request under the configured
+// setOutcome records (or updates in place) the request's single Outcome
+// entry, keeping Outcomes a partition of the trace across retries.
+func (s *sim) setOutcome(st *reqState, replica int, err error) {
+	if st.outIdx < 0 {
+		st.outIdx = len(s.res.Outcomes)
+		s.res.Outcomes = append(s.res.Outcomes, Outcome{Req: st.orig, Replica: replica, Err: err})
+		return
+	}
+	o := &s.res.Outcomes[st.outIdx]
+	o.Replica = replica
+	o.Err = err
+}
+
+// routable lists the ingress replica indices the router may target: all of
+// them under the naive health-blind policy, only serving-state replicas
+// otherwise.
+func (s *sim) routable() []int {
+	cand := make([]int, 0, len(s.ingress))
+	for i, rep := range s.ingress {
+		if s.naive || rep.health.Routable() {
+			cand = append(cand, i)
+		}
+	}
+	return cand
+}
+
+// effLoad is a replica's backlog weighted by its straggler factor — a
+// degraded replica looks proportionally heavier so new work steers away.
+func (s *sim) effLoad(rep *replica) float64 {
+	return float64(rep.s.Load()) * rep.s.Slowdown()
+}
+
+// pick chooses among the candidate ingress replicas under the configured
 // policy.
-func (s *sim) pick(r *batching.Request) int {
+func (s *sim) pick(r *batching.Request, cand []int) int {
 	leastLoaded := func() int {
-		best := 0
-		for i, rep := range s.ingress {
-			if rep.s.Load() < s.ingress[best].s.Load() {
+		best := cand[0]
+		for _, i := range cand[1:] {
+			if s.effLoad(s.ingress[i]) < s.effLoad(s.ingress[best]) {
 				best = i
 			}
 		}
@@ -374,13 +624,14 @@ func (s *sim) pick(r *batching.Request) int {
 	}
 	switch s.c.Policy {
 	case Random:
-		return s.rng.Intn(len(s.ingress))
+		return cand[s.rng.Intn(len(cand))]
 	case Affinity:
 		if r.Template != 0 && s.c.Replica.PrefixCache {
-			best, total := -1, 0
-			for i, rep := range s.ingress {
-				total += rep.s.Load()
-				if rep.s.HasTemplate(r.Template) && (best < 0 || rep.s.Load() < s.ingress[best].s.Load()) {
+			best, total := -1, 0.0
+			for _, i := range cand {
+				rep := s.ingress[i]
+				total += s.effLoad(rep)
+				if rep.s.HasTemplate(r.Template) && (best < 0 || s.effLoad(rep) < s.effLoad(s.ingress[best])) {
 					best = i
 				}
 			}
@@ -389,8 +640,8 @@ func (s *sim) pick(r *batching.Request) int {
 			// to the least-loaded replica, whose cold prefill warms the
 			// template there too. Hot templates thus replicate onto just
 			// enough replicas to carry their share of the traffic.
-			bound := 1.25*float64(total)/float64(len(s.ingress)) + 1
-			if best >= 0 && float64(s.ingress[best].s.Load()) <= bound {
+			bound := 1.25*total/float64(len(cand)) + 1
+			if best >= 0 && s.effLoad(s.ingress[best]) <= bound {
 				return best
 			}
 		}
@@ -401,14 +652,18 @@ func (s *sim) pick(r *batching.Request) int {
 }
 
 // estimate predicts the request's completion time on the chosen ingress
-// replica — plus, in disaggregated mode, the handoff delay and the decode
-// pool's service — for the shed-on-deadline decision.
+// replica — plus, for a still-disaggregated prefill replica, the handoff
+// delay and the decode pool's service — for the shed-on-deadline decision.
 func (s *sim) estimate(target *replica, r *batching.Request) float64 {
 	est := target.s.EstimateFinish(r, false)
-	if !s.c.Disaggregated {
+	if !s.c.Disaggregated || !target.prefill {
 		return est
 	}
-	dec := s.decode[s.pickDecode()]
+	di := s.pickDecode()
+	if di < 0 {
+		return est + s.handoffDelay(r)
+	}
+	dec := s.decode[di]
 	return est + s.handoffDelay(r) + (dec.s.EstimateFinish(r, true) - dec.s.Now())
 }
 
@@ -416,29 +671,73 @@ func (s *sim) handoffDelay(r *batching.Request) float64 {
 	return float64(r.Context) * s.kvBytes / s.bw
 }
 
-// handoff queues a prefill completion's KV transfer to the decode pool.
+// handoff queues a prefill completion's KV transfer to the decode pool,
+// buffering it when the link is down. First-token credit for the prefill
+// replica is booked at completion (so a request lost later lands in the
+// wasted ledger instead).
 func (s *sim) handoff(from *replica, r *batching.Request) {
+	st := s.states[r]
+	if st.done {
+		// A hedge twin already served the request; this copy's prefill is
+		// wasted before it ever crossed the wire.
+		st.live--
+		s.waste(r.ID, from, batching.ErrHedged, r.Context, 1)
+		return
+	}
 	bytes := float64(r.Context) * s.kvBytes
 	s.res.Handoffs++
 	s.res.HandoffBytes += bytes
-	from.stats.LocalTokens++ // the prefill pool produced the first token
-	s.events.push(event{t: from.s.Now() + bytes/s.bw, seq: s.nextSeq(), handoff: true, req: r})
+	e := event{t: from.s.Now() + bytes/s.bw, seq: s.nextSeq(), kind: evHandoff, req: r, from: from}
+	if s.linkDown {
+		s.held = append(s.held, e)
+		return
+	}
+	s.events.push(e)
 }
 
 // admitDecode delivers a handoff: the request's KV is now resident on a
-// decode replica, which generates the remaining Gen-1 tokens.
+// decode replica, which generates the remaining Gen-1 tokens. With the
+// decode pool gone, a fallen-back fleet decodes on the (now unified)
+// prefill replica that produced the KV.
 func (s *sim) admitDecode(e event) {
+	st := s.states[e.req]
+	if st.done {
+		st.live--
+		s.waste(e.req.ID, e.from, batching.ErrHedged, e.req.Context, 1)
+		return
+	}
 	idx := s.pickDecode()
-	target := s.decode[idx]
+	var target *replica
+	switch {
+	case idx >= 0:
+		target = s.decode[idx]
+	case s.fallback && e.from != nil && e.from.health != faults.Down:
+		target = e.from
+	default:
+		// KV arrived with no live decode replica and no fallback path:
+		// the transfer is lost, retry from scratch.
+		st.live--
+		s.waste(e.req.ID, e.from, batching.ErrReplicaDown, e.req.Context, 1)
+		if !st.done && st.live <= 0 {
+			s.retryOrFail(st, e.t)
+		}
+		return
+	}
 	target.s.AdvanceTo(e.t)
+	s.origin[e.req] = e.from
 	target.s.EnqueueDecodeOnly(e.req)
 	target.stats.Routed++
 }
 
+// pickDecode returns the least-loaded live decode replica's index, or -1
+// when none is routable (naive mode stays health-blind here too).
 func (s *sim) pickDecode() int {
-	best := 0
+	best := -1
 	for i, rep := range s.decode {
-		if rep.s.Load() < s.decode[best].s.Load() {
+		if !s.naive && !rep.health.Routable() {
+			continue
+		}
+		if best < 0 || s.effLoad(rep) < s.effLoad(s.decode[best]) {
 			best = i
 		}
 	}
@@ -446,19 +745,44 @@ func (s *sim) pickDecode() int {
 }
 
 // complete books a final-token completion on a unified or decode replica.
+// The first completed copy wins the request; any later copy is a lost hedge
+// race and its tokens are wasted.
 func (s *sim) complete(on *replica, r *batching.Request) {
+	st := s.states[r]
+	st.live--
+	org, fromHandoff := s.origin[r]
+	if fromHandoff {
+		delete(s.origin, r)
+	}
+	if on.health == faults.Recovering {
+		on.health = faults.Healthy
+	}
+	if st.done {
+		pre := 0
+		if !fromHandoff {
+			pre = r.Context
+		}
+		s.waste(r.ID, on, batching.ErrHedged, pre, r.Gen)
+		return
+	}
+	st.done = true
+	if st.hedged && r != st.orig {
+		s.res.HedgeWins++
+	}
 	s.res.Completed++
 	s.res.GenTokens += r.Gen
 	on.stats.Completed++
-	if on.prefill {
-		// unreachable: prefill replicas hand off instead
-		return
-	}
-	if s.c.Disaggregated {
+	if fromHandoff {
+		org.stats.LocalTokens++ // the prefill pool produced the first token
 		on.stats.LocalTokens += r.Gen - 1
 	} else {
 		on.stats.LocalTokens += r.Gen
 	}
+	// The winning copy's timeline becomes the request's record.
+	st.orig.Admitted = r.Admitted
+	st.orig.Done = r.Done
+	st.orig.Slot = r.Slot
+	s.setOutcome(st, on.idx, nil)
 	if r.Deadline > 0 && r.Done > r.Deadline {
 		s.res.DeadlineMisses++
 	} else {
@@ -467,10 +791,36 @@ func (s *sim) complete(on *replica, r *batching.Request) {
 	if r.Done > s.res.Makespan {
 		s.res.Makespan = r.Done
 	}
-	s.lat = append(s.lat, r.Done-r.Arrival)
+	s.lat = append(s.lat, r.Done-st.orig.Arrival)
+	if st.firstLoss >= 0 {
+		s.recov = append(s.recov, r.Done-st.firstLoss)
+	}
 }
 
 func (s *sim) finish() Result {
+	// Down replicas may still hold work the naive health-blind router kept
+	// feeding them: those requests were silently eaten.
+	for _, rep := range s.all {
+		if rep.health == faults.Down && rep.s.Busy() {
+			for _, lw := range rep.s.Crash() {
+				st := s.states[lw.Req]
+				st.live--
+				if lw.Prefilled+lw.Decoded > 0 {
+					s.waste(lw.Req.ID, rep, batching.ErrReplicaDown, lw.Prefilled, lw.Decoded)
+				}
+				if st.done || st.live > 0 {
+					continue
+				}
+				s.res.Failed++
+				s.setOutcome(st, rep.idx, fmt.Errorf("fleet: %w: request %d eaten by dead replica %d",
+					batching.ErrReplicaDown, lw.Req.ID, rep.idx))
+			}
+		}
+		if rep.health == faults.Down {
+			rep.stats.Downtime += math.Max(0, s.lastT-rep.downSince)
+		}
+		rep.stats.FinalHealth = rep.health.String()
+	}
 	res := s.res
 	for _, r := range s.all {
 		res.PerReplica = append(res.PerReplica, r.stats)
@@ -491,6 +841,10 @@ func (s *sim) finish() Result {
 		res.P50, res.P99 = pct(0.50), pct(0.99)
 	} else {
 		res.MeanLatency = math.NaN()
+	}
+	if len(s.recov) > 0 {
+		sort.Float64s(s.recov)
+		res.RecoveryP99 = s.recov[int(0.99*float64(len(s.recov)-1))]
 	}
 	return res
 }

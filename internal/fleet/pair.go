@@ -17,8 +17,13 @@ type EnginePair struct {
 	Prefill *engine.Engine
 	Decode  *engine.Engine
 	// HandoffBytes accumulates the wire bytes of every KV snapshot moved
-	// between the engines.
+	// between the engines (a post-crash re-send counts again).
 	HandoffBytes int
+	// Failures counts injected decode-side failures survived
+	// (GenerateWithFailure), RecoveredTokens the already-emitted tokens
+	// replayed through decode steps to rebuild the lost KV.
+	Failures        int
+	RecoveredTokens int
 }
 
 // Generate runs one request through the pair: prefill `prompt` on
@@ -56,6 +61,83 @@ func (p *EnginePair) Generate(prefillSlot, decodeSlot int, prompt []int, gen int
 		out = append(out, tok)
 	}
 	p.Decode.ReleaseSlot(decodeSlot)
+	return out, nil
+}
+
+// GenerateWithFailure runs one request through the pair with a decode-side
+// failure injected: the decode replica dies after emitting failAfter decode
+// tokens beyond the first (failAfter 0 = mid-handoff, before any decode
+// step), losing its copy of the slot's KV. Recovery re-sends the retained
+// prefill checkpoint (SlotKV snapshots are deep copies, so the export
+// outlives the consumer), restores it into recoverSlot, replays the
+// already-emitted tokens through decode steps to rebuild the generated
+// positions' KV — greedy decoding makes the replay deterministic, and any
+// divergence from the recorded stream is reported as an error — and then
+// continues to gen tokens. The full stream is identical to a failure-free
+// run, which TestEnginePairRecoveryTokenExact asserts in float and int8 KV
+// modes.
+func (p *EnginePair) GenerateWithFailure(prefillSlot, decodeSlot, recoverSlot int, prompt []int, gen, failAfter int) ([]int, error) {
+	if gen < 1 {
+		return nil, fmt.Errorf("fleet: gen %d < 1", gen)
+	}
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("fleet: empty prompt")
+	}
+	if failAfter < 0 || failAfter >= gen-1 {
+		return nil, fmt.Errorf("fleet: failAfter %d outside [0, gen-1)", failAfter)
+	}
+	logits := p.Prefill.PrefillSlot(prefillSlot, prompt)
+	out := make([]int, 0, gen)
+	out = append(out, argmax(logits.Row(logits.Rows-1)))
+	ckpt, err := p.Prefill.ExportSlotKV(prefillSlot)
+	if err != nil {
+		return nil, err
+	}
+	p.Prefill.ReleaseSlot(prefillSlot)
+	p.HandoffBytes += ckpt.Bytes()
+
+	// First attempt: the decode replica imports the KV, produces failAfter
+	// tokens, then crashes — its cache copy is gone.
+	if err := p.Decode.ImportSlotKV(decodeSlot, ckpt); err != nil {
+		return nil, err
+	}
+	last := make([]int, p.Decode.Batch())
+	active := make([]bool, p.Decode.Batch())
+	active[decodeSlot] = true
+	var lg *tensor.Mat
+	for i := 0; i < failAfter; i++ {
+		last[decodeSlot] = out[len(out)-1]
+		lg = p.Decode.DecodeSlotsInto(lg, last, active)
+		out = append(out, argmax(lg.Row(decodeSlot)))
+	}
+	p.Decode.ReleaseSlot(decodeSlot)
+	p.Failures++
+
+	// Recovery: re-send the checkpoint, restore it into a fresh slot, and
+	// replay the tokens emitted so far to rebuild their KV positions.
+	p.HandoffBytes += ckpt.Bytes()
+	if err := p.Decode.RestoreSlotKV(recoverSlot, ckpt); err != nil {
+		return nil, err
+	}
+	for i := range last {
+		last[i] = 0
+		active[i] = false
+	}
+	active[recoverSlot] = true
+	for i := 0; i+1 < len(out); i++ {
+		last[recoverSlot] = out[i]
+		lg = p.Decode.DecodeSlotsInto(lg, last, active)
+		p.RecoveredTokens++
+		if got := argmax(lg.Row(recoverSlot)); got != out[i+1] {
+			return nil, fmt.Errorf("fleet: recovery replay diverged at token %d: got %d, recorded %d", i+1, got, out[i+1])
+		}
+	}
+	for len(out) < gen {
+		last[recoverSlot] = out[len(out)-1]
+		lg = p.Decode.DecodeSlotsInto(lg, last, active)
+		out = append(out, argmax(lg.Row(recoverSlot)))
+	}
+	p.Decode.ReleaseSlot(recoverSlot)
 	return out, nil
 }
 

@@ -105,6 +105,110 @@ func TestEnginePairTokenExact(t *testing.T) {
 	}
 }
 
+// The recovery contract: a decode-side failure — mid-handoff or after some
+// decode steps — followed by a checkpoint re-import and token replay yields
+// exactly the tokens of a failure-free run, in float and int8 KV modes.
+func TestEnginePairRecoveryTokenExact(t *testing.T) {
+	cfg := tinyConfig()
+	const batch, gen, maxLen = 8, 16, 48
+	prompt := []int{5, 18, 31, 44, 57, 6}
+	w := reference.NewWeights(cfg, 42)
+	torus := hardware.Torus{X: 2, Y: 2, Z: 2}
+	for _, int8kv := range []bool{false, true} {
+		name := "float"
+		if int8kv {
+			name = "int8kv"
+		}
+		t.Run(name, func(t *testing.T) {
+			opts := engine.Options{
+				FFN:     partition.FFN2DWeightStationary,
+				Attn:    partition.AttnShardBatch,
+				KVDType: model.BF16,
+			}
+			if int8kv {
+				opts.KVDType = model.Int8
+			}
+			mk := func() *engine.Engine {
+				e, err := engine.New(w, torus, opts, batch, maxLen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return e
+			}
+			want := singleEngineGreedy(t, mk(), 1, prompt, gen)
+
+			// failAfter 0 is the mid-handoff crash (KV imported, no decode
+			// step ran); 5 loses five generated positions that the replay
+			// must rebuild.
+			for _, failAfter := range []int{0, 5} {
+				pair := &EnginePair{Prefill: mk(), Decode: mk()}
+				got, err := pair.GenerateWithFailure(1, 3, 6, prompt, gen, failAfter)
+				if err != nil {
+					t.Fatalf("failAfter %d: %v", failAfter, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("failAfter %d token %d: recovered %d vs unified %d\nwant %v\ngot  %v",
+							failAfter, i, got[i], want[i], want, got)
+					}
+				}
+				if pair.Failures != 1 {
+					t.Errorf("failAfter %d: Failures = %d, want 1", failAfter, pair.Failures)
+				}
+				if pair.RecoveredTokens != failAfter {
+					t.Errorf("failAfter %d: RecoveredTokens = %d", failAfter, pair.RecoveredTokens)
+				}
+				// The checkpoint crossed the wire twice.
+				single := &EnginePair{Prefill: mk(), Decode: mk()}
+				if _, err := single.Generate(1, 3, prompt, gen); err != nil {
+					t.Fatal(err)
+				}
+				if pair.HandoffBytes != 2*single.HandoffBytes {
+					t.Errorf("failAfter %d: HandoffBytes = %d, want 2×%d",
+						failAfter, pair.HandoffBytes, single.HandoffBytes)
+				}
+				// Recovery may land on the same slot the failed attempt used.
+				pair2 := &EnginePair{Prefill: mk(), Decode: mk()}
+				got2, err := pair2.GenerateWithFailure(1, 3, 3, prompt, gen, failAfter)
+				if err != nil {
+					t.Fatalf("failAfter %d same-slot: %v", failAfter, err)
+				}
+				for i := range want {
+					if got2[i] != want[i] {
+						t.Fatalf("failAfter %d same-slot token %d: %d vs %d", failAfter, i, got2[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEnginePairRecoveryErrors(t *testing.T) {
+	cfg := tinyConfig()
+	w := reference.NewWeights(cfg, 9)
+	opts := engine.Options{FFN: partition.FFN2DWeightStationary, Attn: partition.AttnShardBatch}
+	mk := func() *engine.Engine {
+		e, err := engine.New(w, hardware.Torus{X: 2, Y: 1, Z: 1}, opts, 4, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	pair := &EnginePair{Prefill: mk(), Decode: mk()}
+	if _, err := pair.GenerateWithFailure(0, 1, 2, nil, 8, 0); err == nil {
+		t.Error("empty prompt should fail")
+	}
+	if _, err := pair.GenerateWithFailure(0, 1, 2, []int{1, 2}, 0, 0); err == nil {
+		t.Error("gen 0 should fail")
+	}
+	if _, err := pair.GenerateWithFailure(0, 1, 2, []int{1, 2}, 8, 7); err == nil {
+		t.Error("failAfter past gen-1 should fail (the request would finish before the crash)")
+	}
+	if _, err := pair.GenerateWithFailure(0, 1, 2, []int{1, 2}, 8, -1); err == nil {
+		t.Error("negative failAfter should fail")
+	}
+}
+
 func TestEnginePairErrors(t *testing.T) {
 	cfg := tinyConfig()
 	w := reference.NewWeights(cfg, 9)
