@@ -13,6 +13,7 @@ package esti
 import (
 	"testing"
 
+	"esti/internal/autoscale"
 	"esti/internal/batching"
 	"esti/internal/engine"
 	"esti/internal/experiments"
@@ -306,6 +307,59 @@ func BenchmarkFleetRouting(b *testing.B) {
 		}
 		if res.Completed != 400 {
 			b.Fatalf("completed %d/400", res.Completed)
+		}
+	}
+}
+
+// BenchmarkFleetAutoscale measures the autoscaled fleet riding a
+// burst-then-tail trace through a chaos plan — control ticks, provisioning,
+// and graceful scale-in drains all inside the event heap. The goodput and
+// replica-seconds wins over the static fleet are asserted in
+// internal/fleet's TestAutoscaleBeatsStatic.
+func BenchmarkFleetAutoscale(b *testing.B) {
+	c := fleet.Config{
+		Replica: batching.Config{
+			Model:       model.PaLM540BPadded(),
+			Weights:     model.Int8,
+			System:      hardware.TPUv4Slice(4, 4, 4),
+			FFN:         partition.FFN2DWeightStationary,
+			Attn:        partition.AttnShardBatch,
+			Slots:       64,
+			MaxLen:      2048 + 256,
+			PrefixCache: true,
+			Knobs:       knobs(),
+		},
+		Replicas: 4,
+		Policy:   fleet.Affinity,
+		Recovery: fleet.RecoveryPolicy{BrownoutBelow: 0.6},
+		Autoscale: &autoscale.Policy{
+			MinReplicas:  2,
+			MaxReplicas:  8,
+			ScaleInBelow: 1.0,
+			WarmupCost:   1.5,
+		},
+	}
+	c.Faults.Crash(1, 1.0, 5.0)
+	c.Faults.Crash(2, 1.5, -1)
+	c.Faults.Straggle(0, 2.0, 4.5, 3.0)
+	trace := batching.ZipfPrefixTrace(1200, 0.01, 1024, 48, 1.3, 11)
+	reqs := make([]batching.Request, len(trace.Requests))
+	copy(reqs, trace.Requests)
+	for i := range reqs {
+		if i >= 600 {
+			reqs[i].Arrival = 6.0 + float64(i-600)*0.1
+		}
+	}
+	trace = batching.WithSLO(batching.Trace{Requests: reqs}, 8.0, 0.3, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Simulate(c, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ScaleOuts == 0 || res.ScaleIns == 0 {
+			b.Fatalf("autoscaler idle: %d outs, %d ins", res.ScaleOuts, res.ScaleIns)
 		}
 	}
 }

@@ -65,6 +65,16 @@
 // a naive health-blind baseline that never retries:
 //
 //	estiserve -model palm540b -replicas 4 -fault-plan 'crash:1@2+4,slow:0@1-3x2.5'
+//
+// With -autoscale, the same fleet run is repeated with the perf-model-driven
+// autoscaler armed: a deterministic control loop ticks inside the simulation,
+// scales each pool out when the backlog drain estimate breaches the high
+// watermark (and the excess repays the new replica's provision+warm-up cost)
+// and gracefully drains replicas back in when the fleet runs slack. The
+// report compares goodput and replica-seconds against the static fleet and
+// prints the scaling timeline:
+//
+//	estiserve -model palm540b -replicas 4 -autoscale -fault-plan 'crash:1@2+4'
 package main
 
 import (
@@ -73,6 +83,7 @@ import (
 	"os"
 	"strings"
 
+	"esti/internal/autoscale"
 	"esti/internal/batching"
 	"esti/internal/faults"
 	"esti/internal/fleet"
@@ -110,6 +121,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "fleet: run N replicas of the decode-tier slice behind a router over a Zipf-template trace (0 = off)")
 	disaggregated := flag.Bool("disaggregated", false, "fleet: split the replicas into prefill and decode pools with per-request KV handoff")
 	faultPlan := flag.String("fault-plan", "", "fleet: inject faults, e.g. 'crash:1@2+4,slow:0@1-3x2.5,link:2.5-3' (crash:R@T[+D] drain:R@T[+D] slow:R@T1[-T2]xF link:T1[-T2]); compares no-fault vs recovered vs naive no-retry")
+	autoscaled := flag.Bool("autoscale", false, "fleet: rerun with the perf-model-driven autoscaler armed and compare goodput and replica-seconds against the static fleet")
 	flag.Parse()
 
 	cfg, ok := modelByName(*modelName)
@@ -327,7 +339,7 @@ func main() {
 		}
 	}
 
-	if *replicas > 0 || *disaggregated || *faultPlan != "" {
+	if *replicas > 0 || *disaggregated || *faultPlan != "" || *autoscaled {
 		n := *requests
 		if n < 2 {
 			n = 200
@@ -421,6 +433,46 @@ func main() {
 					fmt.Printf("  replica %d (%s): %d crashes, %.2fs down, %d tokens wasted, ends %s\n",
 						i, r.Role, r.Crashes, r.Downtime, r.WastedTokens, r.FinalHealth)
 				}
+			}
+		}
+
+		if *autoscaled {
+			fcs := fc
+			if *faultPlan != "" {
+				plan, err := faults.Parse(*faultPlan)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fcs.Faults = plan
+			}
+			static, err := fleet.Simulate(fcs, trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fca := fcs
+			fca.Autoscale = &autoscale.Policy{
+				MinReplicas: max(1, nRep/2),
+				MaxReplicas: 2 * nRep,
+			}
+			auto, err := fleet.Simulate(fca, trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nautoscale (%d..%d replicas, start %d):\n",
+				fca.Autoscale.MinReplicas, fca.Autoscale.MaxReplicas, nRep)
+			fmt.Printf("  static:     %d good tok, %.1f replica-s, %.1f good tok/replica-s, %d/%d served\n",
+				static.GoodTokens, static.ReplicaSeconds, static.GoodputPerReplicaSec, static.Completed, n)
+			fmt.Printf("  autoscaled: %d good tok (%.2fx), %.1f replica-s (%.2fx), %.1f good tok/replica-s, %d/%d served\n",
+				auto.GoodTokens, ratio(float64(auto.GoodTokens), float64(static.GoodTokens)),
+				auto.ReplicaSeconds, ratio(auto.ReplicaSeconds, static.ReplicaSeconds),
+				auto.GoodputPerReplicaSec, auto.Completed, n)
+			fmt.Printf("  %d control ticks, %d scale-outs, %d scale-ins, %d replicas at peak\n",
+				auto.Ticks, auto.ScaleOuts, auto.ScaleIns, len(auto.PerReplica))
+			for _, ev := range auto.ScaleEvents {
+				fmt.Printf("  t=%.2f %-7s %s replica %d: %s\n", ev.T, ev.Pool, ev.Verdict, ev.Replica, ev.Reason)
 			}
 		}
 	}

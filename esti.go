@@ -16,6 +16,7 @@
 //   - internal/serve:    static two-tier (prefill → decode) pipeline
 //   - internal/batching: iteration-level continuous batching
 //   - internal/fleet:    multi-replica router + disaggregated pools
+//   - internal/autoscale: the fleet's deterministic autoscaling control law
 //   - internal/experiments: regeneration of every table and figure
 //
 // Quick start:
@@ -71,13 +72,28 @@
 // replica dies mid-request, the retained prefill checkpoint re-imports
 // elsewhere, and token replay rebuilds the stream exactly.
 //
+// The fleet is also self-sizing: FleetConfig.Autoscale arms a deterministic
+// control loop (AutoscalePolicy) that ticks inside the simulation heap,
+// reads the perf model's backlog drain estimates plus the fleet's health
+// and SLO signals, and scales each pool out when the excess backlog repays
+// a new replica's provision-plus-warm-up cost — and gracefully drains
+// replicas back in when the fleet runs slack. Hysteresis bands and
+// consecutive-tick debounce prevent flapping; scale-ins never drop
+// resident KV. The run's scaling timeline (FleetScaleEvent), per-tick
+// snapshots (FleetTickStat), and per-replica lifetime windows
+// (FleetResult.PerReplica, whose windows sum exactly to
+// FleetResult.ReplicaSeconds) make the controller auditable, and the whole
+// autoscaled run replays byte-identically under the same seed.
+//
 // See examples/ for runnable scenarios (examples/continuousbatch for the
 // serving comparison, examples/fleet for multi-replica routing,
-// examples/faults for failure injection and recovery) and cmd/estibench
-// for the paper's tables and figures.
+// examples/faults for failure injection and recovery, examples/autoscale
+// for the self-sizing fleet) and cmd/estibench for the paper's tables and
+// figures.
 package esti
 
 import (
+	"esti/internal/autoscale"
 	"esti/internal/batching"
 	"esti/internal/engine"
 	"esti/internal/faults"
@@ -250,6 +266,16 @@ type (
 	// fallback threshold. MaxRetries -1 selects the naive health-blind
 	// baseline.
 	FleetRecoveryPolicy = fleet.RecoveryPolicy
+	// AutoscalePolicy tunes the fleet's control loop for
+	// FleetConfig.Autoscale: replica bounds, the drain-time hysteresis
+	// bands, consecutive-tick debounce, cooldown, and the provision and
+	// warm-up costs the payback check prices a scale-out against. The zero
+	// value selects sensible defaults.
+	AutoscalePolicy = autoscale.Policy
+	// FleetScaleEvent is one autoscale action in the run's audit trail.
+	FleetScaleEvent = fleet.ScaleEvent
+	// FleetTickStat is one control tick's fleet snapshot.
+	FleetTickStat = fleet.TickStat
 )
 
 // Routing policies.

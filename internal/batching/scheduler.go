@@ -221,6 +221,80 @@ func (s *Scheduler) EstimateFinish(r *Request, decodeOnly bool) float64 {
 	return s.now + (prefillWork+float64(remaining)*step/float64(b))*s.slowdown
 }
 
+// Backlog is a load snapshot of one scheduler: what is queued, what is in
+// flight, and — priced by the perf model — how long the replica would take
+// to drain it all with no further arrivals. The fleet's autoscaler reads
+// one per replica per control tick; DrainTime is the pressure signal its
+// hysteresis bands compare.
+type Backlog struct {
+	// Pending and Active mirror the accessors of the same names.
+	Pending, Active int
+	// PrefillWork is the batch-1 prefill time (seconds) still owed: queued
+	// prompts plus the unprefilled remainder of mid-prefill slots.
+	PrefillWork float64
+	// RemainingTokens counts decode tokens still owed across slots and queue.
+	RemainingTokens int
+	// DrainTime estimates the seconds until the replica is empty, serving
+	// its backlog at steady-state occupancy — EstimateFinish without a
+	// candidate request, straggler slowdown included. Zero when idle.
+	DrainTime float64
+}
+
+// Snapshot prices the replica's current backlog with the perf model. Like
+// EstimateFinish it is a deterministic estimate, not a simulation: prefill
+// work at batch-1 cost, remaining decode tokens at the steady-state batch
+// step cost, all stretched by the straggler slowdown.
+func (s *Scheduler) Snapshot() Backlog {
+	b := Backlog{Pending: s.Pending(), Active: s.Active()}
+	ctxSum, n := 0, 0
+	for _, ss := range s.slots {
+		if ss == nil {
+			continue
+		}
+		if ss.toGo > 0 {
+			b.PrefillWork += s.prefillT(ss.ctxDone, ss.toGo)
+		}
+		b.RemainingTokens += ss.req.Gen - ss.produced
+		ctxSum += ss.req.Context + ss.req.Gen/2
+		n++
+	}
+	for _, q := range s.queue {
+		if !q.decodeOnly {
+			b.PrefillWork += s.prefillT(0, q.r.Context)
+		}
+		b.RemainingTokens += q.r.Gen
+		ctxSum += q.r.Context + q.r.Gen/2
+		n++
+	}
+	if n == 0 {
+		return b
+	}
+	if s.prefillOnly {
+		b.DrainTime = b.PrefillWork * s.slowdown
+		return b
+	}
+	batch := s.Load()
+	if batch > s.c.Slots {
+		batch = s.c.Slots
+	}
+	step := s.decodeT(batch, ctxSum/n)
+	b.DrainTime = (b.PrefillWork + float64(b.RemainingTokens)*step/float64(batch)) * s.slowdown
+	return b
+}
+
+// DrainToEmpty steps the scheduler until no work remains — queue included —
+// and returns every completion in finish order: the local flush a scale-in
+// performs after the router stops feeding the replica. Resident KV is never
+// dropped; each in-flight sequence runs to its last token.
+func (s *Scheduler) DrainToEmpty() []*Request {
+	var done []*Request
+	for s.Busy() {
+		_, d := s.Step()
+		done = append(done, d...)
+	}
+	return done
+}
+
 // Step runs one scheduler iteration — admissions, chunked prefill, one
 // decode step, completions — advancing the replica's clock by the
 // iteration's modeled time. Completed requests are returned with Done set;
@@ -428,6 +502,6 @@ func latencyStats(reqs []*Request) (mean, p50, p95, p99 float64) {
 		sum += lat[i]
 	}
 	sort.Float64s(lat)
-	pct := func(p float64) float64 { return lat[int(p*float64(len(lat)-1))] }
-	return sum / float64(len(reqs)), pct(0.50), pct(0.95), pct(0.99)
+	return sum / float64(len(reqs)),
+		percentileSorted(lat, 0.50), percentileSorted(lat, 0.95), percentileSorted(lat, 0.99)
 }

@@ -1,0 +1,51 @@
+package batching
+
+// Shared order statistics for the serving layers. Every percentile the
+// stack reports — request-latency p50/p95/p99 here, the fleet's recovery
+// p99 and the autoscaler's per-tick backlog percentiles — runs through one
+// guarded helper instead of N hand-rolled sort-and-index snippets, each
+// with its own empty-slice crash waiting to happen.
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-quantile of xs by the nearest-rank scheme the
+// latency reports use: the element at index floor(p × (n-1)) of the sorted
+// values. The input is not mutated (a copy is sorted). Edge handling is
+// explicit rather than accidental:
+//
+//   - empty input returns 0 (a report's "no samples" value, matching the
+//     zero-valued RecoveryP99 of a run in which nothing recovered);
+//   - a single sample is every percentile of itself;
+//   - p is clamped to [0, 1], and NaN p returns NaN (a NaN probability is
+//     a caller bug worth surfacing, not a sample to guess at).
+func Percentile(xs []float64, p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is the indexing core for callers that already hold a
+// sorted sample and read several percentiles from it (latencyStats, the
+// fleet's Result assembly): one sort, many lookups.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}

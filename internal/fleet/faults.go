@@ -76,6 +76,11 @@ func (s *sim) applyFault(e event) {
 		return
 	}
 	rep := s.all[f.Replica]
+	if rep.retired {
+		// The autoscaler released this replica before the plan reached it;
+		// there is nothing left to crash, drain, or recover.
+		return
+	}
 	switch f.Kind {
 	case faults.Crash:
 		if rep.health == faults.Down {
@@ -151,10 +156,15 @@ func (s *sim) crash(rep *replica, t float64) {
 }
 
 // setDown finishes a drain: the replica served its last in-flight sequence
-// and leaves the fleet (losing nothing).
+// and leaves the fleet (losing nothing). For an autoscale release this is
+// the moment the capacity is actually handed back, so the lifetime window
+// closes here, not at the scale-in decision.
 func (s *sim) setDown(rep *replica, t float64) {
 	rep.health = faults.Down
 	rep.downSince = t
+	if rep.retired {
+		rep.retiredAt = t
+	}
 	s.checkFallback()
 }
 
@@ -251,14 +261,21 @@ func (s *sim) brownout() bool {
 	return float64(live) < w*float64(total)
 }
 
-// liveFraction counts routable ingress replicas out of the total.
+// liveFraction counts routable ingress replicas out of the total. Retired
+// replicas are gone (a scaled-in fleet is smaller, not browner), and
+// still-provisioning ones are not yet capacity — neither may depress the
+// brownout fraction.
 func (s *sim) liveFraction() (live, total int) {
 	for _, rep := range s.ingress {
+		if rep.retired || rep.provisioning {
+			continue
+		}
+		total++
 		if rep.health.Routable() {
 			live++
 		}
 	}
-	return live, len(s.ingress)
+	return live, total
 }
 
 // checkFallback converts the prefill pool to unified serving when the live

@@ -45,6 +45,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"esti/internal/autoscale"
 	"esti/internal/batching"
 	"esti/internal/faults"
 )
@@ -120,6 +121,15 @@ type Config struct {
 	// value is the sensible default (3 retries, 50 ms base backoff,
 	// hedging on); MaxRetries -1 selects the naive health-blind baseline.
 	Recovery RecoveryPolicy
+	// Autoscale arms the perf-model-driven control loop: control ticks run
+	// as first-class events in the simulation heap, and each pool (prefill
+	// and decode independently when Disaggregated) scales out or in under
+	// the policy's hysteresis bands. Nil disables autoscaling (the fleet
+	// stays at its configured size); zero fields in a non-nil policy take
+	// the autoscale package defaults. Incompatible with the naive baseline
+	// (Recovery.MaxRetries -1): a health-blind router would route work to
+	// still-provisioning replicas.
+	Autoscale *autoscale.Policy
 }
 
 // Outcome records what the fleet did with one request: the ingress replica
@@ -135,9 +145,22 @@ type Outcome struct {
 
 // ReplicaStats is one replica's share of the run.
 type ReplicaStats struct {
+	// ID is the replica's stable index for the whole run: replicas are only
+	// ever appended (scale-out) or retired in place (scale-in), never
+	// reindexed, so ID always equals the replica's position in PerReplica
+	// and fault-plan indices stay meaningful across scale events.
+	ID int
 	// Role is "unified", "prefill", "decode", or "prefill→unified" after a
 	// graceful-degradation fallback.
 	Role string
+	// AddedAt and RetiredAt bound the replica's provisioned lifetime
+	// window: [0, end-of-run] for the initial fleet, [scale-out tick,
+	// scale-in tick] for autoscaled capacity. RetiredAt is the end-of-run
+	// clock for replicas never released; Retired distinguishes a replica
+	// the autoscaler released from one that merely ran to the end (or died
+	// there). The windows sum exactly to Result.ReplicaSeconds.
+	AddedAt, RetiredAt float64
+	Retired            bool
 	// Routed counts requests this replica admitted at ingress (arrivals
 	// for unified/prefill replicas, handoffs for decode replicas).
 	Routed int
@@ -220,6 +243,19 @@ type Result struct {
 	RecoveryP99 float64
 	PerReplica  []ReplicaStats
 	Outcomes    []Outcome
+	// Autoscale accounting. ReplicaSeconds is the provisioned capacity the
+	// run actually spent — each replica's lifetime window summed, whether
+	// or not Autoscale was armed — and GoodputPerReplicaSec is goodput
+	// divided by it: the cost axis on which a static and an autoscaled
+	// fleet compare fairly. Ticks counts control intervals, ScaleOuts and
+	// ScaleIns the executed actions, ScaleEvents the audit trail, and
+	// TickStats the per-tick fleet snapshots the controller decided on.
+	ReplicaSeconds       float64
+	GoodputPerReplicaSec float64
+	Ticks                int
+	ScaleOuts, ScaleIns  int
+	ScaleEvents          []ScaleEvent
+	TickStats            []TickStat
 }
 
 // WastedWork is one discarded piece of computed work: KV positions and
@@ -246,7 +282,15 @@ type replica struct {
 	health  faults.Health
 	// downSince is when the replica last went Down (for Downtime).
 	downSince float64
-	stats     ReplicaStats
+	// Autoscale lifecycle: addedAt is when the replica was provisioned (0
+	// for the initial fleet), provisioning marks the window before its
+	// evScaleReady fires, and retired/retiredAt mark an autoscale release —
+	// a retired replica keeps its index but never serves or counts again.
+	addedAt      float64
+	provisioning bool
+	retired      bool
+	retiredAt    float64
+	stats        ReplicaStats
 }
 
 type eventKind int
@@ -256,6 +300,10 @@ const (
 	evHandoff
 	evRetry
 	evFault
+	// evTick is an autoscale control tick; evScaleReady delivers a
+	// provisioned replica (event.from) into service.
+	evTick
+	evScaleReady
 )
 
 type event struct {
@@ -329,6 +377,14 @@ type sim struct {
 	minDecode  int
 	recov      []float64 // completion − firstLoss per recovered request
 	lastT      float64   // latest simulation time observed
+
+	// Autoscale state (nil/zero when Config.Autoscale is nil).
+	auto       *autoscale.Policy     // effective (defaulted) policy
+	ctlIngress *autoscale.Controller // unified fleet or prefill pool
+	ctlDecode  *autoscale.Controller // decode pool when disaggregated
+	recovers   map[int][]float64     // plan-scheduled Recover times per replica
+	prevShed   int                   // shed counter at the previous tick
+	prevMiss   int                   // miss+fail counter at the previous tick
 }
 
 // Simulate routes the trace through the fleet and returns the aggregate
@@ -347,6 +403,11 @@ func Simulate(c Config, trace batching.Trace) (Result, error) {
 	// the arrivals of that instant (seq breaks the tie deterministically).
 	for _, f := range c.Faults.Sorted() {
 		s.events.push(event{t: f.At, seq: s.nextSeq(), kind: evFault, fault: f})
+	}
+	if s.auto != nil {
+		// The first control tick lands one interval in; ticks re-arm
+		// themselves while the run has work, so no tick survives the trace.
+		s.events.push(event{t: s.auto.Interval, seq: s.nextSeq(), kind: evTick})
 	}
 	for i := range reqs {
 		if err := c.Replica.CheckRequest(reqs[i]); errors.Is(err, batching.ErrInvalidTrace) {
@@ -444,6 +505,13 @@ func newSim(c Config) (*sim, error) {
 	if s.minDecode < 1 {
 		s.minDecode = 1
 	}
+	if c.Autoscale != nil && s.naive {
+		return nil, fmt.Errorf("fleet: %w: autoscale requires health-aware recovery (Recovery.MaxRetries >= 0)",
+			batching.ErrInvalidConfig)
+	}
+	if err := s.initAutoscale(); err != nil {
+		return nil, fmt.Errorf("fleet: %w: %v", batching.ErrInvalidConfig, err)
+	}
 	return s, nil
 }
 
@@ -509,6 +577,10 @@ func (s *sim) run() {
 			s.admitDecode(e)
 		case evRetry:
 			s.deliver(e.req, e.t, true)
+		case evTick:
+			s.tick(e.t)
+		case evScaleReady:
+			s.scaleReady(e)
 		default:
 			s.deliver(e.req, e.t, false)
 		}
@@ -816,14 +888,31 @@ func (s *sim) finish() Result {
 					batching.ErrReplicaDown, lw.Req.ID, rep.idx))
 			}
 		}
-		if rep.health == faults.Down {
+		// A replica the autoscaler released is not down, it is gone; a
+		// still-provisioning replica never served. Neither accrues downtime.
+		if rep.health == faults.Down && !rep.retired && !rep.provisioning {
 			rep.stats.Downtime += math.Max(0, s.lastT-rep.downSince)
 		}
 		rep.stats.FinalHealth = rep.health.String()
+		if rep.retired {
+			rep.stats.FinalHealth = "retired"
+		}
+		rep.stats.ID = rep.idx
+		rep.stats.AddedAt = rep.addedAt
+		rep.stats.Retired = rep.retired
+		if rep.retired {
+			rep.stats.RetiredAt = rep.retiredAt
+		} else {
+			rep.stats.RetiredAt = s.lastT
+		}
 	}
 	res := s.res
 	for _, r := range s.all {
 		res.PerReplica = append(res.PerReplica, r.stats)
+		res.ReplicaSeconds += r.stats.RetiredAt - r.stats.AddedAt
+	}
+	if res.ReplicaSeconds > 0 {
+		res.GoodputPerReplicaSec = float64(res.GoodTokens) / res.ReplicaSeconds
 	}
 	chips := float64(len(s.all) * s.c.Replica.System.Chips())
 	if res.Makespan > 0 {
@@ -831,21 +920,17 @@ func (s *sim) finish() Result {
 		res.GoodputPerChip = float64(res.GoodTokens) / (res.Makespan * chips)
 	}
 	if len(s.lat) > 0 {
-		sort.Float64s(s.lat)
 		sum := 0.0
 		for _, l := range s.lat {
 			sum += l
 		}
 		res.MeanLatency = sum / float64(len(s.lat))
-		pct := func(p float64) float64 { return s.lat[int(p*float64(len(s.lat)-1))] }
-		res.P50, res.P99 = pct(0.50), pct(0.99)
+		res.P50 = batching.Percentile(s.lat, 0.50)
+		res.P99 = batching.Percentile(s.lat, 0.99)
 	} else {
 		res.MeanLatency = math.NaN()
 	}
-	if len(s.recov) > 0 {
-		sort.Float64s(s.recov)
-		res.RecoveryP99 = s.recov[int(0.99*float64(len(s.recov)-1))]
-	}
+	res.RecoveryP99 = batching.Percentile(s.recov, 0.99)
 	return res
 }
 
