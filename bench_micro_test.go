@@ -1,0 +1,178 @@
+// Microkernel benchmarks: the simd layer's hot loops measured at the
+// shapes the engine drives them at, each with a `dispatch` sub-benchmark
+// (whatever internal/simd selected at init — AVX2 on capable x86-64,
+// scalar otherwise or under ESTI_NOSIMD=1) and a `scalar` sub-benchmark
+// pinned to the exported scalar twins. The dispatch/scalar ratio printed
+// by one run IS the measured SIMD speedup on the current machine; the
+// regression gate watches the dispatch figures so a kernel or dispatch
+// regression fails CI even when the end-to-end engine benchmarks hide it
+// behind model-evaluation overhead.
+package esti
+
+import (
+	"testing"
+
+	"esti/internal/kvcache"
+	"esti/internal/reference"
+	"esti/internal/simd"
+	"esti/internal/tensor"
+)
+
+// microN is the vector length for the dot/axpy benchmarks: 256 matches
+// the contraction depths the engine hits (attention head dims and the
+// CI-config FFN widths) and is a multiple of the 16-lane block, so the
+// asm path runs block-only with no tail.
+const microN = 256
+
+func microFloats(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(i%17)*0.25 - 2
+	}
+	return v
+}
+
+func microInt8s(n int) []int8 {
+	v := make([]int8, n)
+	for i := range v {
+		v[i] = int8(i*37%255 - 127)
+	}
+	return v
+}
+
+var microSink float32
+
+// microRows is how many distinct rows the dot/axpy benchmarks sweep per
+// b.N iteration — the score/weigh loops walk a cache segment, not one
+// row, and a ~100µs-per-op figure is stable enough for the 20% gate where
+// a single 25ns call is not.
+const microRows = 64
+
+// BenchmarkDotF32I8 times the mixed-precision dot product at the int8-KV
+// attention score shape: a float32 query row against each quantized row
+// of a 64-row cache segment. ns/op covers the whole 64-row sweep.
+func BenchmarkDotF32I8(b *testing.B) {
+	a := microFloats(microN)
+	q := microInt8s(microRows * microN)
+	b.Run("dispatch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < microRows; r++ {
+				microSink = simd.DotF32I8(a, q[r*microN:(r+1)*microN])
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < microRows; r++ {
+				microSink = simd.ScalarDotF32I8(a, q[r*microN:(r+1)*microN])
+			}
+		}
+	})
+}
+
+// BenchmarkAxpyF32I8 times the quantized weighted accumulate at the
+// int8-KV attention value shape: each row of a 64-row quantized V segment
+// folded into the float32 output row. ns/op covers the 64-row sweep.
+func BenchmarkAxpyF32I8(b *testing.B) {
+	dst := microFloats(microN)
+	q := microInt8s(microRows * microN)
+	b.Run("dispatch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < microRows; r++ {
+				simd.AxpyF32I8(dst, 0.25, q[r*microN:(r+1)*microN])
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < microRows; r++ {
+				simd.ScalarAxpyF32I8(dst, 0.25, q[r*microN:(r+1)*microN])
+			}
+		}
+	})
+	microSink = dst[0]
+}
+
+// BenchmarkMatMulMicro times one small dense GEMM — [8,128]·[128,128],
+// the per-chip activation-by-weight-panel shape of the CI engine config —
+// through tensor.MatMulInto (dispatch) and through the identical blocked
+// loop pinned to the scalar MulAdd4F32 twin (scalar).
+func BenchmarkMatMulMicro(b *testing.B) {
+	const m, k, n = 8, 128, 128
+	a := tensor.FromSlice(microFloats(m*k), m, k)
+	w := tensor.FromSlice(microFloats(k*n), k, n)
+	dst := tensor.New(m, n)
+	b.Run("dispatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulInto(dst, a, w)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scalarMatMulInto(dst, a, w)
+		}
+	})
+	microSink = dst.Data[0]
+}
+
+// scalarMatMulInto mirrors tensor's blocked row kernel (4-wide contraction
+// unroll, zero-skip) with every vector pass pinned to the scalar twins, so
+// the MatMulMicro pair isolates exactly what the kernel dispatch buys.
+func scalarMatMulInto(dst, a, b *tensor.Mat) {
+	k, n := a.Cols, b.Cols
+	dst.Reshape(a.Rows, n)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		clear(orow)
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue
+			}
+			simd.ScalarMulAdd4F32(orow,
+				b.Row(kk), b.Row(kk+1), b.Row(kk+2), b.Row(kk+3),
+				a0, a1, a2, a3)
+		}
+		for ; kk < k; kk++ {
+			if av := arow[kk]; av != 0 {
+				simd.ScalarAxpyF32(orow, av, b.Row(kk))
+			}
+		}
+	}
+}
+
+// BenchmarkAttendSegmentInt8 times the fused attention segment walk over a
+// quantized KV cache at fixed depth 256: one decode step's scores, softmax
+// and weighted V sum for 8 query heads sharing one multiquery KV head
+// (scoreSegI8 + weighSegI8 via AttendSeqInto). Dispatch-path only — the
+// segment loops bind to the kernel layer at init — and allocation-free:
+// the gate pins both ns/op and the zero allocs/op figure.
+func BenchmarkAttendSegmentInt8(b *testing.B) {
+	const dh, heads, depth = 64, 8, 256
+	cache := kvcache.NewInt8(1, 1, depth+8, dh)
+	slot, ok := cache.Alloc()
+	if !ok {
+		b.Fatal("no cache slot")
+	}
+	krow := tensor.FromSlice(microFloats(dh), 1, dh)
+	vrow := tensor.FromSlice(microFloats(dh), 1, dh)
+	for s := 0; s < depth-1; s++ {
+		cache.AppendSeq(0, slot, krow, vrow, 1)
+		cache.AdvanceSeq(slot, 1)
+	}
+	cache.AppendSeq(0, slot, krow, vrow, 1) // current step's K/V, not yet advanced
+	q := tensor.FromSlice(microFloats(heads*dh), 1, heads*dh)
+	dst := tensor.New(1, heads*dh)
+	var scr reference.AttnScratch
+	scr.Reserve(depth + 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reference.AttendSeqInto(dst, dh, q, cache, 0, slot, 1, &scr)
+	}
+	microSink = dst.Data[0]
+}

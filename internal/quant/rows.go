@@ -1,6 +1,10 @@
 package quant
 
-import "math"
+import (
+	"math"
+
+	"esti/internal/simd"
+)
 
 // Row-wise int8 quantization for activation-like tensors — the KV cache's
 // storage format (the paper's §3.3 int8 path applied to the cache rather
@@ -96,31 +100,18 @@ func DequantizeRowInto(dst []float32, src []int8, scale float32) {
 }
 
 // DotF32I8 is the shared int8-dot kernel of the fused attention walk: the
-// float32 accumulation of a · b over b's raw int8 values, unrolled
-// four-wide like tensor.Dot. The caller applies the row scale once to the
-// result — one multiply per row instead of one per element, which is what
-// keeps the int8 score loop at fp32-walk cost.
+// float32 accumulation of a · b over b's raw int8 values, running
+// internal/simd's vectorized kernel (AVX2 VPMOVSXBD inner loop, or its
+// bit-identical scalar twin) with the fixed 16-lane accumulation contract.
+// The caller applies the row scale once to the result — one multiply per
+// row instead of one per element, which is what keeps the int8 score loop
+// cheaper than the fp32 walk.
 func DotF32I8(a []float32, b []int8) float32 {
-	b = b[:len(a)]
-	var s0, s1, s2, s3 float32
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * float32(b[i])
-		s1 += a[i+1] * float32(b[i+1])
-		s2 += a[i+2] * float32(b[i+2])
-		s3 += a[i+3] * float32(b[i+3])
-	}
-	for ; i < len(a); i++ {
-		s0 += a[i] * float32(b[i])
-	}
-	return s0 + s1 + s2 + s3
+	return simd.DotF32I8(a, b)
 }
 
 // AxpyF32I8 accumulates s·v into dst over v's raw int8 values; the caller
 // folds the row scale into s.
 func AxpyF32I8(dst []float32, s float32, v []int8) {
-	v = v[:len(dst)]
-	for i := range dst {
-		dst[i] += s * float32(v[i])
-	}
+	simd.AxpyF32I8(dst, s, v)
 }

@@ -5,6 +5,7 @@ import (
 
 	"esti/internal/kvcache"
 	"esti/internal/quant"
+	"esti/internal/simd"
 	"esti/internal/tensor"
 )
 
@@ -149,44 +150,16 @@ func attendSeqInt8(dst *tensor.Mat, dh int, q *tensor.Mat, cache *kvcache.Cache,
 
 // scoreSeg fills out[j] with inv·(q · k_j) for one K segment (rows are
 // len(out) consecutive rows of kd at stride w, columns [kvo, kvo+len(q))),
-// blocked four rows at a time so q is loaded once per block, and returns
-// the running max starting from maxV. Segments compose: score the later
-// (private) segment first with the prefix segment's call wrapped around
-// it, or vice versa — max is order-independent.
+// each row's dot running the simd layer's fixed 16-lane kernel (AVX2 or
+// its bit-identical scalar twin), and returns the running max starting
+// from maxV. Segments compose: score the later (private) segment first
+// with the prefix segment's call wrapped around it, or vice versa — max is
+// order-independent.
 func scoreSeg(out []float32, kd []float32, w, kvo int, q []float32, inv, maxV float32) float32 {
 	dh := len(q)
-	j := 0
-	for ; j+4 <= len(out); j += 4 {
-		o0 := j*w + kvo
-		k0 := kd[o0 : o0+dh][:dh]
-		k1 := kd[o0+w : o0+w+dh][:dh]
-		k2 := kd[o0+2*w : o0+2*w+dh][:dh]
-		k3 := kd[o0+3*w : o0+3*w+dh][:dh]
-		var s0, s1, s2, s3 float32
-		for i, qv := range q {
-			s0 += qv * k0[i]
-			s1 += qv * k1[i]
-			s2 += qv * k2[i]
-			s3 += qv * k3[i]
-		}
-		s0, s1, s2, s3 = inv*s0, inv*s1, inv*s2, inv*s3
-		out[j], out[j+1], out[j+2], out[j+3] = s0, s1, s2, s3
-		if s0 > maxV {
-			maxV = s0
-		}
-		if s1 > maxV {
-			maxV = s1
-		}
-		if s2 > maxV {
-			maxV = s2
-		}
-		if s3 > maxV {
-			maxV = s3
-		}
-	}
-	for ; j < len(out); j++ {
+	for j := range out {
 		o := j*w + kvo
-		s := inv * tensor.Dot(q, kd[o:o+dh])
+		s := inv * simd.DotF32(q, kd[o:o+dh])
 		out[j] = s
 		if s > maxV {
 			maxV = s
@@ -197,47 +170,14 @@ func scoreSeg(out []float32, kd []float32, w, kvo int, q []float32, inv, maxV fl
 
 // scoreSegI8 is scoreSeg over a quantized K segment: out[j] gets
 // inv·scales[j]·(q · k8_j), the int8×float32 dot with the row's
-// dequantization folded into one multiply after the accumulation. Blocked
-// four rows at a time like the float32 form; the tail rows use the shared
-// quant.DotF32I8 kernel.
+// dequantization folded into one multiply after the accumulation — the
+// accumulation itself is simd.DotF32I8's VPMOVSXBD-class inner loop.
 func scoreSegI8(out []float32, seg quant.Int8Rows, kvo int, q []float32, inv, maxV float32) float32 {
 	dh := len(q)
 	kd, scales, w := seg.Data, seg.Scales, seg.Cols
-	j := 0
-	for ; j+4 <= len(out); j += 4 {
-		o0 := j*w + kvo
-		k0 := kd[o0 : o0+dh][:dh]
-		k1 := kd[o0+w : o0+w+dh][:dh]
-		k2 := kd[o0+2*w : o0+2*w+dh][:dh]
-		k3 := kd[o0+3*w : o0+3*w+dh][:dh]
-		var s0, s1, s2, s3 float32
-		for i, qv := range q {
-			s0 += qv * float32(k0[i])
-			s1 += qv * float32(k1[i])
-			s2 += qv * float32(k2[i])
-			s3 += qv * float32(k3[i])
-		}
-		s0 = inv * scales[j] * s0
-		s1 = inv * scales[j+1] * s1
-		s2 = inv * scales[j+2] * s2
-		s3 = inv * scales[j+3] * s3
-		out[j], out[j+1], out[j+2], out[j+3] = s0, s1, s2, s3
-		if s0 > maxV {
-			maxV = s0
-		}
-		if s1 > maxV {
-			maxV = s1
-		}
-		if s2 > maxV {
-			maxV = s2
-		}
-		if s3 > maxV {
-			maxV = s3
-		}
-	}
-	for ; j < len(out); j++ {
+	for j := range out {
 		o := j*w + kvo
-		s := inv * scales[j] * quant.DotF32I8(q, kd[o:o+dh])
+		s := inv * scales[j] * simd.DotF32I8(q, kd[o:o+dh])
 		out[j] = s
 		if s > maxV {
 			maxV = s
@@ -248,24 +188,21 @@ func scoreSegI8(out []float32, seg quant.Int8Rows, kvo int, q []float32, inv, ma
 
 // weighSegI8 is weighSeg over a quantized V segment: each row's
 // dequantization scale folds into its softmax weight (p_j·invSum·scale_j),
-// so the inner loop is a pure int8→float32 multiply-accumulate.
+// so the inner loop is a pure int8→float32 multiply-accumulate —
+// simd.MulAdd4F32I8 four rows at a time.
 func weighSegI8(orow []float32, p []float32, seg quant.Int8Rows, kvo int, scale float32) {
 	dh := len(orow)
 	vd, scales, w := seg.Data, seg.Scales, seg.Cols
 	j := 0
 	for ; j+4 <= len(p); j += 4 {
 		o0 := j*w + kvo
-		v0 := vd[o0 : o0+dh][:dh]
-		v1 := vd[o0+w : o0+w+dh][:dh]
-		v2 := vd[o0+2*w : o0+2*w+dh][:dh]
-		v3 := vd[o0+3*w : o0+3*w+dh][:dh]
 		p0 := p[j] * scale * scales[j]
 		p1 := p[j+1] * scale * scales[j+1]
 		p2 := p[j+2] * scale * scales[j+2]
 		p3 := p[j+3] * scale * scales[j+3]
-		for i := range orow {
-			orow[i] += p0*float32(v0[i]) + p1*float32(v1[i]) + p2*float32(v2[i]) + p3*float32(v3[i])
-		}
+		simd.MulAdd4F32I8(orow,
+			vd[o0:o0+dh], vd[o0+w:o0+w+dh], vd[o0+2*w:o0+2*w+dh], vd[o0+3*w:o0+3*w+dh],
+			p0, p1, p2, p3)
 	}
 	for ; j < len(p); j++ {
 		o := j*w + kvo
@@ -275,20 +212,16 @@ func weighSegI8(orow []float32, p []float32, seg quant.Int8Rows, kvo int, scale 
 
 // weighSeg accumulates scale·p_j·v_j into orow over one V segment (len(p)
 // consecutive rows of vd at stride w, columns [kvo, kvo+len(orow))),
-// blocked four rows at a time.
+// simd.MulAdd4F32 four rows at a time.
 func weighSeg(orow []float32, p []float32, vd []float32, w, kvo int, scale float32) {
 	dh := len(orow)
 	j := 0
 	for ; j+4 <= len(p); j += 4 {
 		o0 := j*w + kvo
-		v0 := vd[o0 : o0+dh][:dh]
-		v1 := vd[o0+w : o0+w+dh][:dh]
-		v2 := vd[o0+2*w : o0+2*w+dh][:dh]
-		v3 := vd[o0+3*w : o0+3*w+dh][:dh]
 		p0, p1, p2, p3 := p[j]*scale, p[j+1]*scale, p[j+2]*scale, p[j+3]*scale
-		for i := range orow {
-			orow[i] += p0*v0[i] + p1*v1[i] + p2*v2[i] + p3*v3[i]
-		}
+		simd.MulAdd4F32(orow,
+			vd[o0:o0+dh], vd[o0+w:o0+w+dh], vd[o0+2*w:o0+2*w+dh], vd[o0+3*w:o0+3*w+dh],
+			p0, p1, p2, p3)
 	}
 	for ; j < len(p); j++ {
 		o := j*w + kvo

@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package simd
+
+// Non-amd64 builds have no assembly kernels: useASM stays false, dispatch
+// always takes the scalar twin, and these bodies are unreachable. They
+// exist so the portable dispatch code type-checks on every architecture.
+
+func dotF32Asm(a, b []float32) float32 { panic("simd: no asm kernels on this arch") }
+
+func dotF32I8Asm(a []float32, b []int8) float32 { panic("simd: no asm kernels on this arch") }
+
+func axpyF32Asm(dst []float32, s float32, x []float32) {
+	panic("simd: no asm kernels on this arch")
+}
+
+func axpyF32I8Asm(dst []float32, s float32, v []int8) {
+	panic("simd: no asm kernels on this arch")
+}
+
+func mulAdd4F32Asm(dst []float32, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	panic("simd: no asm kernels on this arch")
+}
+
+func mulAdd4F32I8Asm(dst []float32, q0, q1, q2, q3 []int8, a0, a1, a2, a3 float32) {
+	panic("simd: no asm kernels on this arch")
+}

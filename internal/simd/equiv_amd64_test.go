@@ -1,0 +1,127 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Direct assembly-vs-twin equivalence, independent of what dispatch
+// selected (so it still bites under ESTI_NOSIMD=1, and the scalar-fallback
+// CI job cannot silently skip it on AVX2 runners).
+
+func skipNoAVX2(t *testing.T) {
+	t.Helper()
+	if !hwAVX2 {
+		t.Skip("no AVX2 on this machine")
+	}
+}
+
+// asmLengths are multiples of the kernels' block widths — the only counts
+// the raw assembly accepts.
+func asmLengths(block int) []int {
+	return []int{block, 2 * block, 4 * block, 10 * block, 16 * block}
+}
+
+func TestAsmDotBitIdentical(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range asmLengths(dotBlock) {
+		for trial := 0; trial < 16; trial++ {
+			a := randFloats(rng, n, true)
+			bf := randFloats(rng, n, true)
+			bi := randInt8s(rng, n)
+			eqBits(t, "dotF32AVX2", dotF32Asm(a, bf), ScalarDotF32(a, bf))
+			eqBits(t, "dotF32I8AVX2", dotF32I8Asm(a, bi), ScalarDotF32I8(a, bi))
+		}
+	}
+}
+
+func TestAsmAxpyBitIdentical(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range asmLengths(axpyBlock) {
+		for trial := 0; trial < 16; trial++ {
+			base := randFloats(rng, n, true)
+			x := randFloats(rng, n, true)
+			v := randInt8s(rng, n)
+			s := rng.Float32()*4 - 2
+
+			got, want := append([]float32(nil), base...), append([]float32(nil), base...)
+			axpyF32Asm(got, s, x)
+			ScalarAxpyF32(want, s, x)
+			for i := range got {
+				eqBits(t, "axpyF32AVX2", got[i], want[i])
+			}
+
+			got, want = append([]float32(nil), base...), append([]float32(nil), base...)
+			axpyF32I8Asm(got, s, v)
+			ScalarAxpyF32I8(want, s, v)
+			for i := range got {
+				eqBits(t, "axpyF32I8AVX2", got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAsmMulAdd4BitIdentical(t *testing.T) {
+	skipNoAVX2(t)
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range asmLengths(axpyBlock) {
+		for trial := 0; trial < 16; trial++ {
+			base := randFloats(rng, n, true)
+			var b [4][]float32
+			var q [4][]int8
+			for r := range b {
+				b[r] = randFloats(rng, n, true)
+				q[r] = randInt8s(rng, n)
+			}
+			a0, a1 := rng.Float32()*2-1, rng.Float32()*2-1
+			a2, a3 := rng.Float32()*2-1, rng.Float32()*2-1
+
+			got, want := append([]float32(nil), base...), append([]float32(nil), base...)
+			mulAdd4F32Asm(got, b[0], b[1], b[2], b[3], a0, a1, a2, a3)
+			ScalarMulAdd4F32(want, b[0], b[1], b[2], b[3], a0, a1, a2, a3)
+			for i := range got {
+				eqBits(t, "mulAdd4F32AVX2", got[i], want[i])
+			}
+
+			got, want = append([]float32(nil), base...), append([]float32(nil), base...)
+			mulAdd4F32I8Asm(got, q[0], q[1], q[2], q[3], a0, a1, a2, a3)
+			ScalarMulAdd4F32I8(want, q[0], q[1], q[2], q[3], a0, a1, a2, a3)
+			for i := range got {
+				eqBits(t, "mulAdd4F32I8AVX2", got[i], want[i])
+			}
+		}
+	}
+}
+
+// Sign-extension edge values must convert exactly like Go's float32(int8).
+func TestAsmInt8ExtensionExtremes(t *testing.T) {
+	skipNoAVX2(t)
+	b := make([]int8, dotBlock)
+	a := make([]float32, dotBlock)
+	for i := range b {
+		b[i] = []int8{-128, -127, -1, 0, 1, 127, 64, -64}[i%8]
+		a[i] = 1
+	}
+	eqBits(t, "int8 extremes", dotF32I8Asm(a, b), ScalarDotF32I8(a, b))
+	if got := dotF32I8Asm(a, b); got != ScalarDotF32I8(a, b) {
+		t.Fatalf("extension mismatch: %g", got)
+	}
+}
+
+// Infinities and huge magnitudes must overflow identically on both paths.
+func TestAsmOverflowIdentical(t *testing.T) {
+	skipNoAVX2(t)
+	a := make([]float32, dotBlock)
+	b := make([]float32, dotBlock)
+	for i := range a {
+		a[i] = math.MaxFloat32
+		b[i] = math.MaxFloat32
+	}
+	eqBits(t, "overflow dot", dotF32Asm(a, b), ScalarDotF32(a, b))
+	if !math.IsInf(float64(dotF32Asm(a, b)), 1) {
+		t.Fatal("expected +Inf accumulation")
+	}
+}

@@ -1,0 +1,158 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Dispatch-level tests that hold on every architecture: the exported API
+// must agree bit for bit with the exported scalar twins on every input —
+// trivially when dispatch is scalar, and through the assembly + Go-tail
+// composition when it is not. The amd64-only equiv test drives the raw
+// assembly against the twins directly, independent of dispatch.
+
+func randFloats(rng *rand.Rand, n int, poison bool) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		switch {
+		case rng.Intn(7) == 0:
+			out[i] = 0
+		case poison && rng.Intn(29) == 0:
+			out[i] = float32(math.Inf(1 - 2*rng.Intn(2)))
+		case poison && rng.Intn(31) == 0:
+			out[i] = float32(math.NaN())
+		default:
+			out[i] = (rng.Float32()*2 - 1) * 8
+		}
+	}
+	return out
+}
+
+func randInt8s(rng *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(255) - 127)
+	}
+	return out
+}
+
+// eqBits fails unless got and want are the same float32 bit pattern, with
+// NaN payloads compared loosely: any NaN equals any NaN. Payload-exact NaN
+// propagation is not part of the contract (the quantize path never lets a
+// NaN reach the kernels' int8 side, and score/weigh inputs are finite by
+// the softmax contract); value-exactness everywhere else is.
+func eqBits(t *testing.T, label string, got, want float32) {
+	t.Helper()
+	if math.Float32bits(got) == math.Float32bits(want) {
+		return
+	}
+	if math.IsNaN(float64(got)) && math.IsNaN(float64(want)) {
+		return
+	}
+	t.Fatalf("%s: got %g (%#08x), want %g (%#08x)",
+		label, got, math.Float32bits(got), want, math.Float32bits(want))
+}
+
+// lengths covers every block boundary: empty, sub-tail, exactly one vector
+// block, one block plus tail, several blocks, and odd sizes.
+var lengths = []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 24, 31, 32, 33, 63, 64, 65, 127, 128, 200, 256}
+
+func TestDotMatchesScalarTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range lengths {
+		for trial := 0; trial < 8; trial++ {
+			a := randFloats(rng, n, true)
+			bf := randFloats(rng, n, true)
+			bi := randInt8s(rng, n)
+			eqBits(t, "DotF32", DotF32(a, bf), ScalarDotF32(a, bf))
+			eqBits(t, "DotF32I8", DotF32I8(a, bi), ScalarDotF32I8(a, bi))
+		}
+	}
+}
+
+func TestAxpyMatchesScalarTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range lengths {
+		for trial := 0; trial < 8; trial++ {
+			base := randFloats(rng, n, false)
+			x := randFloats(rng, n, true)
+			v := randInt8s(rng, n)
+			s := rng.Float32()*4 - 2
+
+			got, want := append([]float32(nil), base...), append([]float32(nil), base...)
+			AxpyF32(got, s, x)
+			ScalarAxpyF32(want, s, x)
+			for i := range got {
+				eqBits(t, "AxpyF32", got[i], want[i])
+			}
+
+			got, want = append([]float32(nil), base...), append([]float32(nil), base...)
+			AxpyF32I8(got, s, v)
+			ScalarAxpyF32I8(want, s, v)
+			for i := range got {
+				eqBits(t, "AxpyF32I8", got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulAdd4MatchesScalarTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range lengths {
+		for trial := 0; trial < 8; trial++ {
+			base := randFloats(rng, n, false)
+			b := [4][]float32{}
+			q := [4][]int8{}
+			for r := range b {
+				b[r] = randFloats(rng, n, true)
+				q[r] = randInt8s(rng, n)
+			}
+			a0, a1 := rng.Float32()*2-1, rng.Float32()*2-1
+			a2, a3 := rng.Float32()*2-1, rng.Float32()*2-1
+
+			got, want := append([]float32(nil), base...), append([]float32(nil), base...)
+			MulAdd4F32(got, b[0], b[1], b[2], b[3], a0, a1, a2, a3)
+			ScalarMulAdd4F32(want, b[0], b[1], b[2], b[3], a0, a1, a2, a3)
+			for i := range got {
+				eqBits(t, "MulAdd4F32", got[i], want[i])
+			}
+
+			got, want = append([]float32(nil), base...), append([]float32(nil), base...)
+			MulAdd4F32I8(got, q[0], q[1], q[2], q[3], a0, a1, a2, a3)
+			ScalarMulAdd4F32I8(want, q[0], q[1], q[2], q[3], a0, a1, a2, a3)
+			for i := range got {
+				eqBits(t, "MulAdd4F32I8", got[i], want[i])
+			}
+		}
+	}
+}
+
+// The dot kernels trim to the shorter operand, mirroring tensor.Dot's
+// historical contract.
+func TestDotTrimsToShorter(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6, 7}
+	if got := DotF32(a, b); got != 1*4+2*5+3*6 {
+		t.Fatalf("DotF32 long b = %g", got)
+	}
+	if got := DotF32(b, a); got != 1*4+2*5+3*6 {
+		t.Fatalf("DotF32 long a = %g", got)
+	}
+	if got := DotF32I8([]float32{2, 3}, []int8{5, -7, 100}); got != 2*5+3*-7 {
+		t.Fatalf("DotF32I8 = %g", got)
+	}
+	AxpyF32(nil, 2, nil) // zero-length must be a no-op, not a panic
+	AxpyF32I8(nil, 2, nil)
+	MulAdd4F32(nil, nil, nil, nil, nil, 1, 2, 3, 4)
+	MulAdd4F32I8(nil, nil, nil, nil, nil, 1, 2, 3, 4)
+}
+
+func TestKindConsistent(t *testing.T) {
+	if Enabled() && Kind() != "avx2" {
+		t.Fatalf("Enabled but Kind = %q", Kind())
+	}
+	if !Enabled() && Kind() != "scalar" {
+		t.Fatalf("disabled but Kind = %q", Kind())
+	}
+}

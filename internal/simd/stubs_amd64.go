@@ -1,0 +1,46 @@
+package simd
+
+// Assembly kernel declarations (kernels_amd64.s). All kernels use only
+// VMULPS/VADDPS-class arithmetic — never FMA — so every float32 operation
+// rounds exactly like its Go-source twin.
+
+// dotF32AVX2 sums a[i]*b[i] over n elements, n a positive multiple of 16,
+// with the package's fixed 16-lane accumulation and reduction tree.
+//
+//go:noescape
+func dotF32AVX2(a, b *float32, n int) float32
+
+// dotF32I8AVX2 sums a[i]*float32(b[i]) over n elements, n a positive
+// multiple of 16 (VPMOVSXBD sign-extension + VCVTDQ2PS, both exact).
+//
+//go:noescape
+func dotF32I8AVX2(a *float32, b *int8, n int) float32
+
+// axpyF32AVX2 computes dst[i] += s*x[i] over n elements, n a positive
+// multiple of 8.
+//
+//go:noescape
+func axpyF32AVX2(dst *float32, s float32, x *float32, n int)
+
+// axpyF32I8AVX2 computes dst[i] += s*float32(v[i]) over n elements, n a
+// positive multiple of 8.
+//
+//go:noescape
+func axpyF32I8AVX2(dst *float32, s float32, v *int8, n int)
+
+// mulAdd4F32AVX2 computes dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] +
+// a3*b3[j] (left-associated) over n elements, n a positive multiple of 8.
+//
+//go:noescape
+func mulAdd4F32AVX2(dst, b0, b1, b2, b3 *float32, a0, a1, a2, a3 float32, n int)
+
+// mulAdd4F32I8AVX2 is mulAdd4F32AVX2 over raw int8 rows.
+//
+//go:noescape
+func mulAdd4F32I8AVX2(dst *float32, q0, q1, q2, q3 *int8, a0, a1, a2, a3 float32, n int)
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbv0() (eax, edx uint32)

@@ -1,14 +1,21 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
 
-// Blocked, bounds-check-eliminated GEMM kernels. The naive triple loops the
-// package started with are retained below (matMulNaive/matMulTNaive) as the
-// oracles the property tests compare against; these kernels unroll the
-// contraction dimension four-wide so each pass over the output row does
-// four multiply-adds per load/store pair, reslice every row to the output
-// length so the compiler drops the inner bounds checks, and split large row
-// ranges across the worker pool (pool.go).
+	"esti/internal/simd"
+)
+
+// Blocked GEMM kernels over the runtime-dispatched vector layer. The naive
+// triple loops the package started with are retained below
+// (matMulNaive/matMulTNaive) as the oracles the property tests compare
+// against. These kernels unroll the contraction dimension four-wide and
+// hand each output-row pass to internal/simd's MulAdd4F32 microkernel —
+// AVX2 when the CPU has it, the bit-identical scalar twin otherwise (or
+// under ESTI_NOSIMD=1) — and split large row ranges across the worker pool
+// (pool.go). All reducing kernels (Dot, MatMulT) inherit simd's fixed
+// 16-lane accumulation contract, so results are the same on every machine
+// and on both dispatch paths.
 
 // Reshape resizes m to rows×cols, reusing its backing array when capacity
 // allows — the destination-passing contract every *Into kernel applies to
@@ -20,7 +27,7 @@ func (m *Mat) Reshape(rows, cols int) *Mat {
 	}
 	n := rows * cols
 	if cap(m.Data) < n {
-		m.Data = make([]float32, n)
+		m.Data = alignedFloats(n)
 	}
 	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
 	return m
@@ -83,13 +90,12 @@ func MatMulAccInto(dst, a, b *Mat) *Mat {
 }
 
 // matMulRows is the serial kernel over output rows [lo, hi): i-k-j order
-// (all row-major, stride-1 inner loops), register-blocked 2 output rows ×
-// 4 contraction steps so each pass over b's rows feeds eight accumulator
-// streams, with a skip for all-zero activation groups so zeroed rows —
-// inactive decode slots — cost almost nothing and stay exactly zero.
-// With acc, existing dst contents are accumulated into instead of cleared
-// (the MatMulAccInto form); per output element the contraction order is
-// identical either way.
+// (all row-major, stride-1 inner loops), blocked 2 output rows × 4
+// contraction steps, each row pass vectorized by simd.MulAdd4F32, with a
+// skip for all-zero activation groups so zeroed rows — inactive decode
+// slots — cost almost nothing and stay exactly zero. With acc, existing
+// dst contents are accumulated into instead of cleared (the MatMulAccInto
+// form); per output element the contraction order is identical either way.
 func matMulRows(dst, a, b *Mat, lo, hi int, acc bool) {
 	k, n := a.Cols, b.Cols
 	ad, bd, od := a.Data, b.Data, dst.Data
@@ -114,26 +120,21 @@ func matMulRows(dst, a, b *Mat, lo, hi int, acc bool) {
 				a10 == 0 && a11 == 0 && a12 == 0 && a13 == 0 {
 				continue
 			}
-			b0 := bd[kk*n : kk*n+n][:n]
-			b1 := bd[(kk+1)*n : (kk+1)*n+n][:n]
-			b2 := bd[(kk+2)*n : (kk+2)*n+n][:n]
-			b3 := bd[(kk+3)*n : (kk+3)*n+n][:n]
-			for j := range orow0 {
-				bj0, bj1, bj2, bj3 := b0[j], b1[j], b2[j], b3[j]
-				orow0[j] += a00*bj0 + a01*bj1 + a02*bj2 + a03*bj3
-				orow1[j] += a10*bj0 + a11*bj1 + a12*bj2 + a13*bj3
-			}
+			b0 := bd[kk*n : kk*n+n]
+			b1 := bd[(kk+1)*n : (kk+1)*n+n]
+			b2 := bd[(kk+2)*n : (kk+2)*n+n]
+			b3 := bd[(kk+3)*n : (kk+3)*n+n]
+			simd.MulAdd4F32(orow0, b0, b1, b2, b3, a00, a01, a02, a03)
+			simd.MulAdd4F32(orow1, b0, b1, b2, b3, a10, a11, a12, a13)
 		}
 		for ; kk < k; kk++ {
 			a0, a1 := arow0[kk], arow1[kk]
 			if a0 == 0 && a1 == 0 {
 				continue
 			}
-			brow := bd[kk*n : kk*n+n][:n]
-			for j := range orow0 {
-				orow0[j] += a0 * brow[j]
-				orow1[j] += a1 * brow[j]
-			}
+			brow := bd[kk*n : kk*n+n]
+			simd.AxpyF32(orow0, a0, brow)
+			simd.AxpyF32(orow1, a1, brow)
 		}
 	}
 	for ; i < hi; i++ {
@@ -148,23 +149,17 @@ func matMulRows(dst, a, b *Mat, lo, hi int, acc bool) {
 			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
 				continue
 			}
-			b0 := bd[kk*n : kk*n+n][:n]
-			b1 := bd[(kk+1)*n : (kk+1)*n+n][:n]
-			b2 := bd[(kk+2)*n : (kk+2)*n+n][:n]
-			b3 := bd[(kk+3)*n : (kk+3)*n+n][:n]
-			for j := range orow {
-				orow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-			}
+			simd.MulAdd4F32(orow,
+				bd[kk*n:kk*n+n], bd[(kk+1)*n:(kk+1)*n+n],
+				bd[(kk+2)*n:(kk+2)*n+n], bd[(kk+3)*n:(kk+3)*n+n],
+				a0, a1, a2, a3)
 		}
 		for ; kk < k; kk++ {
 			av := arow[kk]
 			if av == 0 {
 				continue
 			}
-			brow := bd[kk*n : kk*n+n][:n]
-			for j := range orow {
-				orow[j] += av * brow[j]
-			}
+			simd.AxpyF32(orow, av, bd[kk*n:kk*n+n])
 		}
 	}
 }
@@ -193,8 +188,8 @@ func MatMulTInto(dst, a, b *Mat) *Mat {
 }
 
 // matMulTRows computes rows [lo, hi) of a·bᵀ: both operands are walked
-// along their stride-1 rows, with four independent accumulators per dot
-// product for instruction-level parallelism.
+// along their stride-1 rows, each dot product running the simd layer's
+// fixed 16-lane kernel.
 func matMulTRows(dst, a, b *Mat, lo, hi int) {
 	k, n := a.Cols, b.Rows
 	ad, bd, od := a.Data, b.Data, dst.Data
@@ -202,53 +197,22 @@ func matMulTRows(dst, a, b *Mat, lo, hi int) {
 		arow := ad[i*k : i*k+k]
 		orow := od[i*n : i*n+n]
 		for j := range orow {
-			brow := bd[j*k : j*k+k][:len(arow)]
-			orow[j] = dot(arow, brow)
+			orow[j] = simd.DotF32(arow, bd[j*k:j*k+k])
 		}
 	}
 }
 
-// dot is the shared 4-accumulator dot-product kernel. len(b) must be at
-// least len(a); callers reslice for bounds-check elimination.
-func dot(a, b []float32) float32 {
-	var s0, s1, s2, s3 float32
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
-	}
-	for ; i < len(a); i++ {
-		s0 += a[i] * b[i]
-	}
-	return (s0 + s1) + (s2 + s3)
-}
-
-// axpy adds s·x into y elementwise. len(x) must be at least len(y).
-func axpy(y []float32, s float32, x []float32) {
-	x = x[:len(y)]
-	for i := range y {
-		y[i] += s * x[i]
-	}
-}
-
-// Dot exposes the unrolled dot-product kernel: sum of a[i]·b[i] over
+// Dot exposes the vectorized dot-product kernel: sum of a[i]·b[i] over
 // min(len(a), len(b)) — the building block fused kernels outside this
-// package (attention) are written with.
+// package (attention) are written with. Accumulation follows simd's fixed
+// 16-lane contract, identical on the AVX2 and scalar paths.
 func Dot(a, b []float32) float32 {
-	if len(b) < len(a) {
-		a = a[:len(b)]
-	}
-	return dot(a, b[:len(a)])
+	return simd.DotF32(a, b)
 }
 
 // Axpy accumulates s·x into y over min(len(x), len(y)) elements.
 func Axpy(y []float32, s float32, x []float32) {
-	if len(x) < len(y) {
-		y = y[:len(x)]
-	}
-	axpy(y, s, x)
+	simd.AxpyF32(y, s, x)
 }
 
 // matMulNaive is the package's original triple-loop a·b, retained verbatim

@@ -3,9 +3,12 @@
 // paper's log-base-2 fast path), RMS normalization, GELU/SiLU activations,
 // and row/column slicing used by the sharded execution engine.
 //
-// Matrices are row-major. The package favors clarity and testability over
-// SIMD performance: it exists to validate partitioning semantics, not to
-// race hardware.
+// Matrices are row-major with cache-line-aligned backing storage. The
+// compute kernels route through internal/simd's runtime-dispatched layer
+// (AVX2 on capable x86, a bit-identical pure-Go twin elsewhere or under
+// ESTI_NOSIMD=1); accumulation order is fixed by that package's
+// 16-lane/reduction-tree contract, so every result is identical across
+// machines and dispatch paths.
 package tensor
 
 import (
@@ -20,12 +23,15 @@ type Mat struct {
 	Data       []float32 // len == Rows*Cols
 }
 
-// New allocates a zero matrix.
+// New allocates a zero matrix. Backing storage is cache-line aligned so
+// the simd layer's vector loads never split lines; FromSlice-wrapped data
+// keeps whatever alignment the caller's slice has (the kernels accept
+// both — alignment is performance, not correctness).
 func New(rows, cols int) *Mat {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
 	}
-	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+	return &Mat{Rows: rows, Cols: cols, Data: alignedFloats(rows * cols)}
 }
 
 // FromSlice wraps data (not copied) as a rows×cols matrix.
